@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries.
+ *
+ * Each binary registers one google-benchmark case per configuration
+ * point (pinned to a single iteration — a simulation is deterministic,
+ * repeating it only burns time), accumulates the series it measures,
+ * and prints a paper-vs-measured table after the benchmark run so the
+ * output is directly comparable with the paper's figure.
+ *
+ * Instruction budgets: TACSIM_INSTRUCTIONS / TACSIM_WARMUP override the
+ * defaults for higher-fidelity runs.
+ */
+
+#ifndef TACSIM_BENCH_COMMON_HH
+#define TACSIM_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace tacbench {
+
+using namespace tacsim;
+
+/** One row of the final paper-vs-measured table. */
+struct Row
+{
+    std::string series;  ///< e.g. "T-SHiP"
+    std::string label;   ///< e.g. benchmark name
+    double measured;
+    double paper;        ///< NaN when the paper gives no number
+    std::string unit;
+};
+
+inline std::vector<Row> &
+rows()
+{
+    static std::vector<Row> r;
+    return r;
+}
+
+inline void
+addRow(std::string series, std::string label, double measured,
+       double paper = std::nan(""), std::string unit = "")
+{
+    rows().push_back(
+        {std::move(series), std::move(label), measured, paper,
+         std::move(unit)});
+}
+
+/** Print the accumulated table with a figure title. */
+inline void
+printTable(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-28s %-14s %12s %12s %s\n", "series", "benchmark",
+                "measured", "paper", "unit");
+    for (const Row &r : rows()) {
+        if (std::isnan(r.paper)) {
+            std::printf("%-28s %-14s %12.3f %12s %s\n", r.series.c_str(),
+                        r.label.c_str(), r.measured, "-",
+                        r.unit.c_str());
+        } else {
+            std::printf("%-28s %-14s %12.3f %12.3f %s\n",
+                        r.series.c_str(), r.label.c_str(), r.measured,
+                        r.paper, r.unit.c_str());
+        }
+    }
+    std::fflush(stdout);
+}
+
+/** Baseline Table-I system: DRRIP@L2, SHiP@LLC, no prefetchers. */
+inline SystemConfig
+baselineConfig()
+{
+    return SystemConfig{};
+}
+
+/** The paper's full proposal on top of the baseline. */
+inline SystemConfig
+proposedConfig(bool tempo = true)
+{
+    SystemConfig cfg = baselineConfig();
+    TranslationAwareOptions o;
+    o.tempo = tempo;
+    applyTranslationAware(cfg, o);
+    return cfg;
+}
+
+/** Memoized per-benchmark run (configs hashed by caller-chosen key). */
+inline RunResult &
+cachedRun(const std::string &key, const SystemConfig &cfg, Benchmark b,
+          std::uint64_t instructions = 0, std::uint64_t warmup = 0)
+{
+    static std::map<std::string, RunResult> memo;
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(key, runBenchmark(cfg, b, instructions, warmup))
+                 .first;
+    return it->second;
+}
+
+/**
+ * Register a single-shot google-benchmark case that executes @p fn once
+ * and reports the wall time of the simulation.
+ */
+inline void
+registerCase(const std::string &name, std::function<void()> fn)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [fn](benchmark::State &state) {
+            for (auto _ : state)
+                fn();
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Standard main body: run the registered cases, print the table. */
+inline int
+benchMain(int argc, char **argv, const std::string &title)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable(title);
+    return 0;
+}
+
+/** Geometric mean of (positive) values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double logSum = 0;
+    for (double x : v)
+        logSum += std::log(x);
+    return std::exp(logSum / double(v.size()));
+}
+
+} // namespace tacbench
+
+#endif // TACSIM_BENCH_COMMON_HH

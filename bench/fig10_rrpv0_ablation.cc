@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Paper Fig. 10 ablation: inserting *replay loads* at RRPV=0 (together
+ * with translations) degrades performance — replay blocks are dead, and
+ * parking them at RRPV=0 forces RRIP to age (and eventually evict) the
+ * translation blocks the scheme is trying to keep.
+ *
+ * Compares, against the plain baseline: (a) the correct T-DRRIP/T-SHiP
+ * insertion (translations 0, replays evict-fast) and (b) the ablated
+ * RRPV0-for-both variant. The paper reports (b) losing performance.
+ */
+
+#include "bench_common.hh"
+
+using namespace tacbench;
+
+int
+main(int argc, char **argv)
+{
+    const Benchmark subset[] = {Benchmark::canneal, Benchmark::mcf,
+                                Benchmark::cc, Benchmark::pr,
+                                Benchmark::radii, Benchmark::bf};
+
+    std::vector<double> good, bad;
+
+    for (Benchmark b : subset) {
+        const std::string name = benchmarkName(b);
+        registerCase("fig10/" + name, [b, name, &good, &bad] {
+            const RunResult &base =
+                cachedRun("base/" + name, baselineConfig(), b);
+
+            SystemConfig tCfg = baselineConfig();
+            tCfg.l2Opts.translationRrpv0 = true;
+            tCfg.l2Opts.replayEvictFast = true;
+            tCfg.llcOpts.newSignatures = true;
+            tCfg.llcOpts.translationRrpv0 = true;
+            RunResult tRes = runBenchmark(tCfg, b);
+
+            SystemConfig aCfg = tCfg;
+            aCfg.l2Opts.replayEvictFast = false;
+            aCfg.l2Opts.replayRrpv0 = true;  // ablation: replays at 0
+            aCfg.llcOpts.replayRrpv0 = true;
+            RunResult aRes = runBenchmark(aCfg, b);
+
+            const double sGood = (speedup(base, tRes) - 1) * 100;
+            const double sBad = (speedup(base, aRes) - 1) * 100;
+            addRow("T-insertion (correct)", name, sGood, std::nan(""),
+                   "%");
+            addRow("RRPV0-for-replays (ablated)", name, sBad,
+                   std::nan(""), "%");
+            good.push_back(sGood);
+            bad.push_back(sBad);
+        });
+    }
+
+    registerCase("fig10/summary", [&good, &bad] {
+        auto avg = [](const std::vector<double> &v) {
+            double s = 0;
+            for (double x : v)
+                s += x;
+            return v.empty() ? 0.0 : s / double(v.size());
+        };
+        addRow("T-insertion (correct)", "suite avg", avg(good),
+               std::nan(""), "% (paper: positive)");
+        addRow("RRPV0-for-replays (ablated)", "suite avg", avg(bad),
+               std::nan(""), "% (paper: degradation vs correct)");
+    });
+
+    return benchMain(argc, argv,
+                     "Fig. 10 — RRPV=0 insertion for replays (ablation)");
+}

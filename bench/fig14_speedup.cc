@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Paper Fig. 14 — the headline result: speedup over the DRRIP+SHiP
+ * baseline as the enhancements stack up: T-DRRIP, +T-SHiP, +ATP,
+ * +TEMPO.
+ *
+ * Paper reference points (suite average): T-DRRIP +0.5%, +T-SHiP +2.9%,
+ * +ATP +4.8%, +TEMPO +5.1% (max +10.6%); >98% of leaf translations hit
+ * on-chip with the full scheme.
+ */
+
+#include "bench_common.hh"
+
+using namespace tacbench;
+
+namespace {
+
+struct Step
+{
+    const char *name;
+    double paperAvg;
+    TranslationAwareOptions opts;
+};
+
+const Step kSteps[] = {
+    {"T-DRRIP", 0.5, {true, false, false, false, false}},
+    {"+T-SHiP", 2.9, {true, true, false, false, false}},
+    {"+ATP", 4.8, {true, true, false, true, false}},
+    {"+TEMPO", 5.1, {true, true, false, true, true}},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    static std::map<std::string, std::vector<double>> series;
+    static double onChip = 0;
+
+    for (const Step &s : kSteps) {
+        for (Benchmark b : kAllBenchmarks) {
+            const std::string bname = benchmarkName(b);
+            Step step = s;
+            registerCase(std::string("fig14/") + s.name + "/" + bname,
+                         [step, b, bname] {
+                             const RunResult &base = cachedRun(
+                                 "base/" + bname, baselineConfig(), b);
+                             SystemConfig cfg = baselineConfig();
+                             applyTranslationAware(cfg, step.opts);
+                             RunResult r = runBenchmark(cfg, b);
+                             const double sp = speedup(base, r);
+                             addRow(step.name, bname, (sp - 1) * 100,
+                                    std::nan(""), "%");
+                             series[step.name].push_back(sp);
+                             if (step.opts.tempo)
+                                 onChip += r.leafOnChipHitRate;
+                         });
+        }
+    }
+
+    registerCase("fig14/summary", [] {
+        for (const Step &s : kSteps) {
+            const auto &v = series[s.name];
+            addRow(s.name, "geomean", (geomean(v) - 1) * 100, s.paperAvg,
+                   "%");
+            double mx = 0;
+            for (double x : v)
+                mx = std::max(mx, (x - 1) * 100);
+            if (std::string(s.name) == "+TEMPO")
+                addRow(s.name, "max", mx, 10.6, "%");
+        }
+        addRow("leaf on-chip hit rate", "suite avg",
+               onChip / 9.0 * 100, 98.0, "%");
+    });
+
+    return benchMain(argc, argv,
+                     "Fig. 14 — speedup with the paper's enhancements");
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Paper Fig. 17: 2-way SMT — two threads share the whole memory
+ * hierarchy; the metric is harmonic speedup vs solo runs, compared
+ * between the baseline and the full proposal.
+ *
+ * Paper reference points: suite average +6.3%, max +12.6% (pr-cc);
+ * radii-bf +6.5%, tc-pr +11.1%, canneal-xalancbmk +3.5%,
+ * xalancbmk-xalancbmk +0.5%.
+ */
+
+#include "bench_common.hh"
+
+using namespace tacbench;
+
+int
+main(int argc, char **argv)
+{
+    struct Mix
+    {
+        Benchmark t0, t1;
+        double paper; ///< percent gain, NaN if unlisted
+    };
+    const Mix mixes[] = {
+        {Benchmark::xalancbmk, Benchmark::xalancbmk, 0.5},
+        {Benchmark::canneal, Benchmark::xalancbmk, 3.5},
+        {Benchmark::mcf, Benchmark::tc, std::nan("")},
+        {Benchmark::radii, Benchmark::bf, 6.5},
+        {Benchmark::tc, Benchmark::pr, 11.1},
+        {Benchmark::pr, Benchmark::cc, 12.6},
+        {Benchmark::canneal, Benchmark::pr, std::nan("")},
+        {Benchmark::mcf, Benchmark::mcf, std::nan("")},
+    };
+
+    std::vector<double> gains;
+
+    for (const Mix &m : mixes) {
+        const std::string name =
+            benchmarkName(m.t0) + "-" + benchmarkName(m.t1);
+        Mix mm = m;
+        registerCase("fig17/" + name, [mm, name, &gains] {
+            // Solo IPCs (baseline system) for the harmonic denominator.
+            const RunResult &solo0 = cachedRun(
+                "base/" + benchmarkName(mm.t0), baselineConfig(), mm.t0);
+            const RunResult &solo1 = cachedRun(
+                "base/" + benchmarkName(mm.t1), baselineConfig(), mm.t1);
+            const std::vector<double> soloIpc = {solo0.ipc, solo1.ipc};
+
+            SystemConfig smtBase = baselineConfig();
+            smtBase.threadsPerCore = 2;
+            RunResult mixBase =
+                runMix(smtBase, {mm.t0, mm.t1});
+
+            SystemConfig smtEnh = smtBase;
+            TranslationAwareOptions o;
+            o.tempo = true;
+            applyTranslationAware(smtEnh, o);
+            RunResult mixEnh = runMix(smtEnh, {mm.t0, mm.t1});
+
+            const double hBase = harmonicSpeedup(soloIpc, mixBase);
+            const double hEnh = harmonicSpeedup(soloIpc, mixEnh);
+            const double gain =
+                hBase > 0 ? (hEnh / hBase - 1) * 100 : 0.0;
+            addRow("SMT harmonic-speedup gain", name, gain, mm.paper,
+                   "%");
+            gains.push_back(gain);
+        });
+    }
+
+    registerCase("fig17/summary", [&gains] {
+        double s = 0;
+        for (double x : gains)
+            s += x;
+        addRow("SMT harmonic-speedup gain", "mix avg",
+               gains.empty() ? 0 : s / double(gains.size()), 6.3, "%");
+    });
+
+    return benchMain(argc, argv, "Fig. 17 — 2-way SMT speedup per mix");
+}

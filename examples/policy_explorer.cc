@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Policy-explorer example: sweeps every replacement-policy combination
+ * (L2C x LLC) on one benchmark and prints IPC plus the translation and
+ * replay MPKIs, showing why the paper picks DRRIP@L2C + SHiP@LLC as the
+ * strong baseline — and what the T-variants change.
+ *
+ * Usage: example_policy_explorer [benchmark]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tacsim;
+
+    Benchmark bench = Benchmark::pr;
+    if (argc > 1) {
+        for (Benchmark b : kAllBenchmarks)
+            if (benchmarkName(b) == argv[1])
+                bench = b;
+    }
+
+    struct LlcChoice
+    {
+        const char *name;
+        PolicyKind kind;
+        ReplOpts opts;
+    };
+    const LlcChoice llcs[] = {
+        {"LRU", PolicyKind::LRU, {}},
+        {"SRRIP", PolicyKind::SRRIP, {}},
+        {"DRRIP", PolicyKind::DRRIP, {}},
+        {"SHiP", PolicyKind::SHiP, {}},
+        {"Hawkeye", PolicyKind::Hawkeye, {}},
+        {"T-SHiP", PolicyKind::SHiP, {true, false, true, false}},
+        {"T-Hawkeye", PolicyKind::Hawkeye, {true, false, true, false}},
+    };
+    const std::pair<const char *, bool> l2s[] = {
+        {"DRRIP", false},
+        {"T-DRRIP", true},
+    };
+
+    std::printf("benchmark: %s\n", benchmarkName(bench).c_str());
+    std::printf("%-10s %-10s | %7s | %9s %9s %9s\n", "L2C", "LLC", "IPC",
+                "LLC.ptl1", "LLC.rep", "LLC.nrep");
+
+    for (auto [l2name, tdrrip] : l2s) {
+        for (const LlcChoice &llc : llcs) {
+            SystemConfig cfg;
+            if (tdrrip) {
+                cfg.l2Opts.translationRrpv0 = true;
+                cfg.l2Opts.replayEvictFast = true;
+            }
+            cfg.llcPolicy = llc.kind;
+            cfg.llcOpts = llc.opts;
+            RunResult r = runBenchmark(cfg, bench);
+            std::printf("%-10s %-10s | %7.3f | %9.3f %9.3f %9.3f\n",
+                        l2name, llc.name, r.ipc, r.llcPtl1Mpki,
+                        r.llcReplayMpki, r.llcNonReplayMpki);
+        }
+    }
+    return 0;
+}

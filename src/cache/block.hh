@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-block metadata and the access-descriptor passed to replacement
+ * policies and prefetchers.
+ */
+
+#ifndef TACSIM_CACHE_BLOCK_HH
+#define TACSIM_CACHE_BLOCK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace tacsim {
+
+/**
+ * Classification of a cache block / access that the paper's mechanisms
+ * key on (§III-IV).
+ */
+enum class BlockCat : std::uint8_t
+{
+    NonReplay, ///< demand data, translation hit in STLB
+    Replay,    ///< demand data whose translation missed the STLB
+    PtLeaf,    ///< leaf-level (PTL1) page-table entries
+    PtUpper,   ///< non-leaf page-table entries (PTL2..PTL5)
+    Prefetch,  ///< brought in by a hardware prefetcher
+    Writeback, ///< dirty eviction from above
+};
+
+constexpr std::size_t kNumBlockCats = 6;
+
+/** Derive the category of a request. */
+inline BlockCat
+categorize(const MemRequest &req)
+{
+    switch (req.type) {
+      case ReqType::Translation:
+        return req.ptLevel == 1 ? BlockCat::PtLeaf : BlockCat::PtUpper;
+      case ReqType::Prefetch:
+        return BlockCat::Prefetch;
+      case ReqType::Writeback:
+        return BlockCat::Writeback;
+      default:
+        return req.isReplay ? BlockCat::Replay : BlockCat::NonReplay;
+    }
+}
+
+/** Metadata of one cache block frame. */
+struct BlockMeta
+{
+    Addr tag = 0;           ///< block address (full, block-aligned)
+    bool valid = false;
+    bool dirty = false;
+    bool reused = false;    ///< hit at least once since fill
+    BlockCat cat = BlockCat::NonReplay;
+    PrefetchOrigin prefetchOrigin = PrefetchOrigin::None;
+    Addr fillIp = 0;        ///< IP of the filling access (policy training)
+};
+
+/**
+ * Snapshot of an access handed to replacement policies and prefetchers.
+ * This carries the flags the paper adds from the PTW into the hierarchy.
+ */
+struct AccessInfo
+{
+    Addr blockAddr = 0;  ///< block-aligned physical address
+    Addr vaddr = 0;      ///< virtual address (0 for PTW traffic)
+    Addr ip = 0;
+    BlockCat cat = BlockCat::NonReplay;
+    std::uint8_t ptLevel = 0; ///< 1..5 for translations, else 0
+    bool isReplay = false;
+    bool distantHint = false; ///< insert with eviction priority (ATP/TEMPO)
+    PrefetchOrigin origin = PrefetchOrigin::None;
+    std::uint16_t cpu = 0;
+
+    bool isTranslation() const { return ptLevel != 0; }
+    bool isLeafTranslation() const { return ptLevel == 1; }
+};
+
+/** Build an AccessInfo from a request. */
+inline AccessInfo
+accessInfoFor(const MemRequest &req)
+{
+    AccessInfo ai;
+    ai.blockAddr = req.blockAddr();
+    ai.vaddr = req.vaddr;
+    ai.ip = req.ip;
+    ai.cat = categorize(req);
+    ai.ptLevel = req.ptLevel;
+    ai.isReplay = req.isReplay;
+    ai.distantHint = req.prefetchOrigin == PrefetchOrigin::Atp ||
+        req.prefetchOrigin == PrefetchOrigin::Tempo;
+    ai.origin = req.prefetchOrigin;
+    ai.cpu = req.cpu;
+    return ai;
+}
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_BLOCK_HH

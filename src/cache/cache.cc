@@ -1,0 +1,342 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace tacsim {
+
+Cache::Cache(CacheParams params, EventQueue &eq, MemDevice *lower,
+             std::unique_ptr<ReplPolicy> policy,
+             std::unique_ptr<Prefetcher> prefetcher)
+    : params_(std::move(params)),
+      eq_(eq),
+      lower_(lower),
+      policy_(std::move(policy)),
+      prefetcher_(std::move(prefetcher)),
+      blocks_(static_cast<std::size_t>(params_.sets) * params_.ways)
+{
+    assert((params_.sets & (params_.sets - 1)) == 0 &&
+           "set count must be a power of two");
+    if (prefetcher_)
+        prefetcher_->setIssuer(this);
+    if (params_.profileRecall)
+        profiler_ = std::make_unique<RecallProfiler>(params_.sets);
+}
+
+int
+Cache::findWay(std::uint32_t set, Addr blockAddr) const
+{
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (blocks_[base + w].valid && blocks_[base + w].tag == blockAddr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::contains(Addr paddr) const
+{
+    return findWay(setIndex(paddr), blockAlign(paddr)) >= 0;
+}
+
+void
+Cache::access(const MemRequestPtr &req)
+{
+    if (req->type == ReqType::Writeback) {
+        // Writebacks update in place on hit; on miss they continue down
+        // without allocating (non-inclusive write-no-allocate for WBs).
+        const Addr blockAddr = req->blockAddr();
+        const std::uint32_t set = setIndex(blockAddr);
+        const int way = findWay(set, blockAddr);
+        if (way >= 0) {
+            blocks_[static_cast<std::size_t>(set) * params_.ways + way]
+                .dirty = true;
+            req->complete(eq_.now(), params_.level);
+        } else if (lower_) {
+            lower_->access(req);
+        } else {
+            req->complete(eq_.now(), RespSource::DRAM);
+        }
+        return;
+    }
+
+    MemRequestPtr keep = req;
+    eq_.schedule(params_.latency, [this, keep] { lookup(keep); });
+}
+
+void
+Cache::lookup(const MemRequestPtr &req)
+{
+    const Addr blockAddr = req->blockAddr();
+    const std::uint32_t set = setIndex(blockAddr);
+    const int way = findWay(set, blockAddr);
+    AccessInfo ai = accessInfoFor(*req);
+
+    const auto cat = static_cast<std::size_t>(ai.cat);
+    ++stats_.accesses[cat];
+    if (profiler_)
+        profiler_->onAccess(set, blockAddr, ai.cat);
+
+    if (way >= 0) {
+        ++stats_.hits[cat];
+        BlockMeta &b =
+            blocks_[static_cast<std::size_t>(set) * params_.ways + way];
+        if (req->type == ReqType::Store)
+            b.dirty = true;
+
+        // Prefetch-accuracy accounting: first touch of a prefetched
+        // block by real traffic counts it useful.
+        if (b.prefetchOrigin != PrefetchOrigin::None && !b.reused &&
+            req->type != ReqType::Prefetch) {
+            ++stats_.prefetchUseful;
+            if (b.prefetchOrigin == PrefetchOrigin::Atp)
+                ++stats_.atpUseful;
+            else if (b.prefetchOrigin == PrefetchOrigin::Tempo)
+                ++stats_.tempoUseful;
+        }
+
+        if (req->type != ReqType::Prefetch) {
+            b.reused = true;
+            policy_->onHit(set, static_cast<std::uint32_t>(way), ai);
+        }
+
+        if (prefetcher_ && req->isDemand())
+            prefetcher_->onAccess(ai, true);
+
+        // ATP (paper §IV): a leaf-translation hit at this level means
+        // the replay load's physical line is now known — prefetch it.
+        if (params_.atp && req->isLeafTranslation() &&
+            req->replayBlockPaddr != 0) {
+            ++stats_.atpIssued;
+            issuePrefetch(req->replayBlockPaddr, PrefetchOrigin::Atp,
+                          req->ip);
+        }
+
+        req->complete(eq_.now(), params_.level);
+        return;
+    }
+
+    // Miss.
+    ++stats_.misses[cat];
+    if (prefetcher_ && req->isDemand())
+        prefetcher_->onAccess(ai, false);
+
+    // Ideal modes (paper Fig. 2): grant the hit at this level's latency
+    // but still send the miss through the MSHRs so bandwidth is charged.
+    const bool idealHit =
+        (params_.idealTranslations && req->isLeafTranslation()) ||
+        (params_.idealReplays && req->isDemand() && req->isReplay);
+    if (idealHit) {
+        ++stats_.idealGrants;
+        req->complete(eq_.now(),
+                      params_.level == RespSource::LLC
+                          ? RespSource::IdealLLC
+                          : RespSource::IdealL2C);
+    }
+
+    handleMiss(req, ai);
+}
+
+void
+Cache::handleMiss(const MemRequestPtr &req, const AccessInfo &ai)
+{
+    const Addr blockAddr = req->blockAddr();
+    auto it = mshrs_.find(blockAddr);
+    if (it != mshrs_.end()) {
+        MshrEntry &e = it->second;
+        ++stats_.mshrMerges;
+        if (req->type != ReqType::Prefetch) {
+            // A demand merging into a prefetch-initiated MSHR is a late
+            // prefetch: partially hidden latency.
+            if (e.prefetchOnly)
+                ++stats_.prefetchLate;
+            e.prefetchOnly = false;
+            e.demandWaiting = true;
+            // Reclassify the eventual fill with the demand's identity so
+            // replacement sees replay/translation flags, not Prefetch.
+            if (e.fillInfo.cat == BlockCat::Prefetch)
+                e.fillInfo = ai;
+        }
+        if (req->type == ReqType::Store)
+            e.makeDirty = true;
+        e.waiters.push_back(req);
+        return;
+    }
+
+    const bool isPrefetch = req->type == ReqType::Prefetch;
+    const std::uint32_t freeMshrs =
+        params_.mshrs > mshrs_.size()
+            ? params_.mshrs - static_cast<std::uint32_t>(mshrs_.size())
+            : 0;
+    if (freeMshrs == 0 ||
+        (isPrefetch && freeMshrs <= params_.mshrReserveForDemand)) {
+        if (isPrefetch) {
+            ++stats_.prefetchDropped;
+            req->complete(eq_.now(), params_.level);
+            return;
+        }
+        ++stats_.mshrFullEvents;
+        pending_.push_back(req);
+        return;
+    }
+
+    MshrEntry e;
+    e.fillInfo = ai;
+    e.prefetchOnly = isPrefetch;
+    e.makeDirty = req->type == ReqType::Store;
+    e.origin = req->prefetchOrigin;
+    e.waiters.push_back(req);
+    e.demandWaiting = !isPrefetch;
+    mshrs_.emplace(blockAddr, std::move(e));
+    forwardMiss(blockAddr);
+}
+
+void
+Cache::forwardMiss(Addr blockAddr)
+{
+    const auto &entry = mshrs_.at(blockAddr);
+    // Build the child request that travels to the lower level. It
+    // carries the classification flags so lower caches can apply their
+    // own translation-conscious decisions (and trigger ATP/TEMPO).
+    auto child = std::make_shared<MemRequest>();
+    const MemRequestPtr &primary =
+        entry.waiters.empty() ? nullptr : entry.waiters.front();
+    child->paddr = blockAddr;
+    if (primary) {
+        child->vaddr = primary->vaddr;
+        child->ip = primary->ip;
+        child->type = primary->type == ReqType::Store
+            ? ReqType::Load // stores fetch ownership as reads below L1
+            : primary->type;
+        child->ptLevel = primary->ptLevel;
+        child->isReplay = primary->isReplay;
+        child->replayBlockPaddr = primary->replayBlockPaddr;
+        child->prefetchOrigin = primary->prefetchOrigin;
+        child->cpu = primary->cpu;
+    } else {
+        child->type = ReqType::Prefetch;
+    }
+    child->issuedAt = eq_.now();
+    child->onComplete = [this, blockAddr](MemRequest &resp) {
+        handleFill(blockAddr, resp.source);
+    };
+
+    if (lower_) {
+        lower_->access(child);
+    } else {
+        // Memoryless bottom (unit tests): respond immediately.
+        child->complete(eq_.now(), RespSource::DRAM);
+    }
+}
+
+void
+Cache::handleFill(Addr blockAddr, RespSource src)
+{
+    auto it = mshrs_.find(blockAddr);
+    assert(it != mshrs_.end() && "fill without MSHR");
+    MshrEntry entry = std::move(it->second);
+    mshrs_.erase(it);
+
+    ++stats_.fills;
+    const std::uint32_t set = setIndex(blockAddr);
+    if (policy_->bypassFill(set, entry.fillInfo)) {
+        ++stats_.bypassedFills;
+    } else {
+        installBlock(blockAddr, entry.fillInfo, entry.makeDirty);
+        if (prefetcher_ && entry.origin == PrefetchOrigin::DataPrefetcher)
+            prefetcher_->onPrefetchFill(blockAddr);
+    }
+
+    for (auto &w : entry.waiters)
+        w->complete(eq_.now(), src);
+
+    drainPending();
+}
+
+void
+Cache::installBlock(Addr blockAddr, const AccessInfo &ai, bool dirty)
+{
+    const std::uint32_t set = setIndex(blockAddr);
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
+
+    // Prefer an invalid way.
+    std::int32_t way = -1;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (!blocks_[base + w].valid) {
+            way = static_cast<std::int32_t>(w);
+            break;
+        }
+    }
+    if (way < 0) {
+        way = static_cast<std::int32_t>(
+            policy_->victim(set, ai, &blocks_[base]));
+        evictWay(set, static_cast<std::uint32_t>(way));
+    }
+
+    BlockMeta &b = blocks_[base + static_cast<std::uint32_t>(way)];
+    b.tag = blockAddr;
+    b.valid = true;
+    b.dirty = dirty || ai.cat == BlockCat::Writeback;
+    b.reused = false;
+    b.cat = ai.cat;
+    b.prefetchOrigin =
+        ai.cat == BlockCat::Prefetch ? ai.origin : PrefetchOrigin::None;
+    b.fillIp = ai.ip;
+    policy_->onFill(set, static_cast<std::uint32_t>(way), ai);
+}
+
+void
+Cache::evictWay(std::uint32_t set, std::uint32_t way)
+{
+    BlockMeta &b =
+        blocks_[static_cast<std::size_t>(set) * params_.ways + way];
+    if (!b.valid)
+        return;
+    policy_->onEvict(set, way, b);
+    if (profiler_)
+        profiler_->onEvict(set, b.tag, b.cat);
+    if (b.dirty && lower_) {
+        ++stats_.writebacksOut;
+        auto wb = std::make_shared<MemRequest>();
+        wb->paddr = b.tag;
+        wb->type = ReqType::Writeback;
+        wb->issuedAt = eq_.now();
+        lower_->access(wb);
+    }
+    b.valid = false;
+}
+
+void
+Cache::drainPending()
+{
+    while (!pending_.empty() &&
+           mshrs_.size() < params_.mshrs) {
+        MemRequestPtr req = pending_.front();
+        pending_.pop_front();
+        handleMiss(req, accessInfoFor(*req));
+    }
+}
+
+void
+Cache::issuePrefetch(Addr paddr, PrefetchOrigin origin, Addr ip)
+{
+    const Addr blockAddr = blockAlign(paddr);
+    // Cheap duplicate filters: already resident or already in flight.
+    if (contains(blockAddr) || mshrs_.count(blockAddr))
+        return;
+
+    ++stats_.prefetchIssued;
+    auto req = std::make_shared<MemRequest>();
+    req->paddr = blockAddr;
+    req->ip = ip;
+    req->type = ReqType::Prefetch;
+    req->prefetchOrigin = origin;
+    req->issuedAt = eq_.now();
+    // Prefetches skip the front-side latency; they start at the MSHRs.
+    AccessInfo ai = accessInfoFor(*req);
+    ++stats_.accesses[static_cast<std::size_t>(BlockCat::Prefetch)];
+    ++stats_.misses[static_cast<std::size_t>(BlockCat::Prefetch)];
+    handleMiss(req, ai);
+}
+
+} // namespace tacsim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Set-associative, non-blocking cache level with MSHRs, pluggable
+ * replacement policy and prefetcher, ideal-hit modes (paper Fig. 2) and
+ * the ATP trigger point (paper §IV).
+ *
+ * The cache is a MemDevice: requests arrive via access(), tag lookup is
+ * charged the hit latency, misses allocate an MSHR and forward a child
+ * request to the lower level, and fills install the block and complete
+ * every merged waiter. Translation (PTW) traffic shares the arrays with
+ * data, eight PTEs per 64B block, exactly as §II-A describes.
+ */
+
+#ifndef TACSIM_CACHE_CACHE_HH
+#define TACSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block.hh"
+#include "cache/recall_profiler.hh"
+#include "cache/repl/policy.hh"
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+/** Aggregate counters for one cache level, split by traffic class. */
+struct CacheStats
+{
+    std::uint64_t accesses[kNumBlockCats] = {};
+    std::uint64_t hits[kNumBlockCats] = {};
+    std::uint64_t misses[kNumBlockCats] = {};
+
+    std::uint64_t fills = 0;
+    std::uint64_t bypassedFills = 0;
+    std::uint64_t writebacksOut = 0;
+    std::uint64_t mshrMerges = 0;
+    std::uint64_t mshrFullEvents = 0;
+
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchDropped = 0;
+    std::uint64_t prefetchUseful = 0;
+    std::uint64_t prefetchLate = 0; ///< demand merged into prefetch MSHR
+    std::uint64_t atpIssued = 0;
+    std::uint64_t atpUseful = 0;
+    std::uint64_t tempoUseful = 0;
+    std::uint64_t idealGrants = 0;
+
+    std::uint64_t
+    at(const std::uint64_t (&a)[kNumBlockCats], BlockCat c) const
+    {
+        return a[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t demandAccesses() const
+    {
+        return at(accesses, BlockCat::NonReplay) +
+            at(accesses, BlockCat::Replay);
+    }
+    std::uint64_t demandMisses() const
+    {
+        return at(misses, BlockCat::NonReplay) +
+            at(misses, BlockCat::Replay);
+    }
+    std::uint64_t translationAccesses() const
+    {
+        return at(accesses, BlockCat::PtLeaf) +
+            at(accesses, BlockCat::PtUpper);
+    }
+    std::uint64_t translationMisses() const
+    {
+        return at(misses, BlockCat::PtLeaf) +
+            at(misses, BlockCat::PtUpper);
+    }
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/** Construction parameters for a cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sets = 64;
+    std::uint32_t ways = 8;
+    Cycle latency = 4;          ///< tag+data access latency
+    std::uint32_t mshrs = 16;
+    std::uint32_t mshrReserveForDemand = 2; ///< prefetches may not take these
+    RespSource level = RespSource::L1D;     ///< for response attribution
+
+    bool idealTranslations = false; ///< Fig. 2 ideal mode for leaf PTEs
+    bool idealReplays = false;      ///< Fig. 2 ideal mode for replay loads
+    bool atp = false;               ///< enable the ATP trigger here
+    bool profileRecall = false;     ///< attach a RecallProfiler
+};
+
+class Cache : public MemDevice, public PrefetchIssuer
+{
+  public:
+    Cache(CacheParams params, EventQueue &eq, MemDevice *lower,
+          std::unique_ptr<ReplPolicy> policy,
+          std::unique_ptr<Prefetcher> prefetcher = nullptr);
+
+    // MemDevice
+    void access(const MemRequestPtr &req) override;
+    const std::string &name() const override { return params_.name; }
+
+    // PrefetchIssuer
+    void issuePrefetch(Addr paddr, PrefetchOrigin origin,
+                       Addr ip) override;
+
+    /** True if the block containing @p paddr is resident. */
+    bool contains(Addr paddr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    const CacheParams &params() const { return params_; }
+    ReplPolicy &policy() { return *policy_; }
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
+    MemDevice *lower() { return lower_; }
+
+    const RecallProfiler *recallProfiler() const { return profiler_.get(); }
+
+    void setAtpEnabled(bool on) { params_.atp = on; }
+    void setIdealTranslations(bool on) { params_.idealTranslations = on; }
+    void setIdealReplays(bool on) { params_.idealReplays = on; }
+
+    std::uint32_t setIndex(Addr paddr) const
+    {
+        return static_cast<std::uint32_t>(blockNumber(paddr) &
+                                          (params_.sets - 1));
+    }
+
+    /** Block metadata for tests/inspection; way may be invalid. */
+    const BlockMeta &
+    blockAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return blocks_[static_cast<std::size_t>(set) * params_.ways + way];
+    }
+
+  private:
+    struct MshrEntry
+    {
+        std::vector<MemRequestPtr> waiters;
+        AccessInfo fillInfo;      ///< classification of the eventual fill
+        bool demandWaiting = false;
+        bool prefetchOnly = true;
+        bool makeDirty = false;   ///< a store is waiting on this line
+        PrefetchOrigin origin = PrefetchOrigin::None;
+    };
+
+    void lookup(const MemRequestPtr &req);
+    void handleMiss(const MemRequestPtr &req, const AccessInfo &ai);
+    void forwardMiss(Addr blockAddr);
+    void handleFill(Addr blockAddr, RespSource src);
+    void installBlock(Addr blockAddr, const AccessInfo &ai, bool dirty);
+    void evictWay(std::uint32_t set, std::uint32_t way);
+    void drainPending();
+
+    int findWay(std::uint32_t set, Addr blockAddr) const;
+
+    CacheParams params_;
+    EventQueue &eq_;
+    MemDevice *lower_;
+    std::unique_ptr<ReplPolicy> policy_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::unique_ptr<RecallProfiler> profiler_;
+
+    std::vector<BlockMeta> blocks_;
+    std::unordered_map<Addr, MshrEntry> mshrs_;
+    std::deque<MemRequestPtr> pending_; ///< waiting for a free MSHR
+    CacheStats stats_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_CACHE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Recall-distance profiler (paper Figs. 5, 7, 18).
+ *
+ * The paper defines *recall distance* as the number of accesses that
+ * arrive at a cache set between a block's eviction and its next request.
+ * (This differs from reuse distance, which is measured between uses while
+ * resident.) The profiler stamps a per-set access counter at eviction and
+ * reports the delta when the block is requested again.
+ *
+ * Translations are tracked in every set; data blocks are tracked in a
+ * sampled subset of sets to bound memory.
+ */
+
+#ifndef TACSIM_CACHE_RECALL_PROFILER_HH
+#define TACSIM_CACHE_RECALL_PROFILER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block.hh"
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+class RecallProfiler
+{
+  public:
+    /**
+     * @param sets number of sets in the profiled structure
+     * @param dataSampleStride track data blocks only in sets where
+     *        set % stride == 0 (1 = all sets)
+     */
+    explicit RecallProfiler(std::uint32_t sets,
+                            std::uint32_t dataSampleStride = 16)
+        : counters_(sets, 0), stride_(dataSampleStride)
+    {}
+
+    /** Record an access (hit or miss) for block @p block in @p set. */
+    void
+    onAccess(std::uint32_t set, Addr block, BlockCat cat)
+    {
+        ++counters_[set];
+        if (!tracked(set, cat))
+            return;
+        auto it = evicted_.find(block);
+        if (it != evicted_.end()) {
+            histFor(cat).add(counters_[set] - it->second);
+            evicted_.erase(it);
+        }
+    }
+
+    /** Record an eviction of @p block from @p set. */
+    void
+    onEvict(std::uint32_t set, Addr block, BlockCat cat)
+    {
+        if (!tracked(set, cat))
+            return;
+        if (evicted_.size() < kMaxTracked)
+            evicted_[block] = counters_[set];
+    }
+
+    const Histogram &translationHist() const { return trHist_; }
+    const Histogram &replayHist() const { return replayHist_; }
+    const Histogram &nonReplayHist() const { return dataHist_; }
+
+    void
+    reset()
+    {
+        trHist_.reset();
+        replayHist_.reset();
+        dataHist_.reset();
+        evicted_.clear();
+    }
+
+  private:
+    static constexpr std::size_t kMaxTracked = 1u << 22;
+
+    bool
+    tracked(std::uint32_t set, BlockCat cat) const
+    {
+        if (cat == BlockCat::PtLeaf || cat == BlockCat::PtUpper)
+            return true;
+        return set % stride_ == 0;
+    }
+
+    Histogram &
+    histFor(BlockCat cat)
+    {
+        switch (cat) {
+          case BlockCat::PtLeaf:
+          case BlockCat::PtUpper:
+            return trHist_;
+          case BlockCat::Replay:
+            return replayHist_;
+          default:
+            return dataHist_;
+        }
+    }
+
+    std::vector<std::uint64_t> counters_;
+    std::uint32_t stride_;
+    std::unordered_map<Addr, std::uint64_t> evicted_;
+    Histogram trHist_;
+    Histogram replayHist_;
+    Histogram dataHist_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_RECALL_PROFILER_HH

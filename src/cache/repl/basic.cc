@@ -1,0 +1,43 @@
+#include "cache/repl/basic.hh"
+
+namespace tacsim {
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways, ReplOpts opts)
+    : ReplPolicy(sets, ways, opts),
+      stamp_(static_cast<std::size_t>(sets) * ways, 0)
+{}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set, const AccessInfo &, const BlockMeta *)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t v = 0;
+    std::uint64_t best = stamp_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (stamp_[base + w] < best) {
+            best = stamp_[base + w];
+            v = w;
+        }
+    }
+    return v;
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &ai)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    const bool evictFast = (opts_.replayEvictFast && ai.isReplay &&
+                            !opts_.replayRrpv0) ||
+        ai.distantHint;
+    // LRU position 0 == immediate eviction candidate; MRU == clock.
+    stamp_[idx] = evictFast ? 0 : clock_++;
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = clock_++;
+}
+
+} // namespace tacsim

@@ -1,0 +1,122 @@
+#include "cache/repl/csalt.hh"
+
+#include <algorithm>
+
+namespace tacsim {
+
+CsaltPolicy::CsaltPolicy(std::uint32_t sets, std::uint32_t ways,
+                         ReplOpts opts, std::unique_ptr<ReplPolicy> inner)
+    : ReplPolicy(sets, ways, opts),
+      inner_(std::move(inner)),
+      quota_(std::max(1u, ways / 8)) // start with a small translation slice
+{}
+
+void
+CsaltPolicy::epochTick(const AccessInfo &ai, bool hit)
+{
+    if (ai.cat == BlockCat::Writeback)
+        return;
+    if (ai.isTranslation()) {
+        ++trAcc_;
+        trHit_ += hit;
+    } else {
+        ++dataAcc_;
+        dataHit_ += hit;
+    }
+    if (++epochAccesses_ < kEpochAccesses)
+        return;
+
+    // Grow the slice of whichever class is missing more, one way at a
+    // time, bounded to [1, ways-1].
+    const double trMiss =
+        trAcc_ ? double(trAcc_ - trHit_) / double(trAcc_) : 0.0;
+    const double dataMiss =
+        dataAcc_ ? double(dataAcc_ - dataHit_) / double(dataAcc_) : 0.0;
+    if (trAcc_ > 64 && trMiss > dataMiss && quota_ < ways_ - 1)
+        ++quota_;
+    else if (dataMiss > trMiss && quota_ > 1)
+        --quota_;
+
+    epochAccesses_ = trAcc_ = trHit_ = dataAcc_ = dataHit_ = 0;
+}
+
+std::uint32_t
+CsaltPolicy::victim(std::uint32_t set, const AccessInfo &ai,
+                    const BlockMeta *blocks)
+{
+    // Enforce the partition: if the incoming block's class is over quota,
+    // evict within the class; otherwise evict from the other class first
+    // when it is over its own quota, falling back to the inner policy.
+    std::uint32_t trWays = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (blocks[w].valid && (blocks[w].cat == BlockCat::PtLeaf ||
+                                blocks[w].cat == BlockCat::PtUpper))
+            ++trWays;
+    }
+
+    const bool incomingTr = ai.isTranslation();
+    const bool trOver = trWays > quota_;
+    const bool trUnder = trWays < quota_;
+
+    // Choose the class we must evict from, if constrained.
+    int evictClass = -1; // -1: unconstrained, 0: data, 1: translation
+    if (incomingTr && !trUnder)
+        evictClass = 1; // translations at/over quota replace translations
+    else if (!incomingTr && trOver)
+        evictClass = 1; // reclaim over-quota translation ways for data
+    else if (!incomingTr)
+        evictClass = 0;
+
+    if (evictClass >= 0) {
+        // Delegate recency to the inner policy but restrict candidates:
+        // scan in inner-victim order by repeatedly asking for a victim is
+        // not possible, so pick the inner victim if it matches the class,
+        // else the first block of the class.
+        const std::uint32_t v = inner_->victim(set, ai, blocks);
+        const bool vIsTr = blocks[v].valid &&
+            (blocks[v].cat == BlockCat::PtLeaf ||
+             blocks[v].cat == BlockCat::PtUpper);
+        if ((evictClass == 1) == vIsTr)
+            return v;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const bool isTr = blocks[w].valid &&
+                (blocks[w].cat == BlockCat::PtLeaf ||
+                 blocks[w].cat == BlockCat::PtUpper);
+            if ((evictClass == 1) == isTr)
+                return w;
+        }
+        return v; // class not present; fall back
+    }
+    return inner_->victim(set, ai, blocks);
+}
+
+void
+CsaltPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &ai)
+{
+    epochTick(ai, false);
+    inner_->onFill(set, way, ai);
+}
+
+void
+CsaltPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &ai)
+{
+    epochTick(ai, true);
+    inner_->onHit(set, way, ai);
+}
+
+void
+CsaltPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                     const BlockMeta &meta)
+{
+    inner_->onEvict(set, way, meta);
+}
+
+std::string
+CsaltPolicy::name() const
+{
+    return "CSALT(" + inner_->name() + ")";
+}
+
+} // namespace tacsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CSALT-style dynamic translation/data cache partitioning (Marathe et
+ * al., MICRO'17), used as a comparison point in the paper's §V-B.
+ *
+ * CSALT partitions LLC ways between page-table (translation) blocks and
+ * data blocks, steering the split with hit-rate counters: each epoch it
+ * compares translation and data hit rates and shifts the translation way
+ * quota toward the class with the worse absolute hit yield per way. Our
+ * implementation wraps a baseline policy for intra-class recency.
+ */
+
+#ifndef TACSIM_CACHE_REPL_CSALT_HH
+#define TACSIM_CACHE_REPL_CSALT_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/repl/policy.hh"
+
+namespace tacsim {
+
+class CsaltPolicy : public ReplPolicy
+{
+  public:
+    static constexpr std::uint64_t kEpochAccesses = 8192;
+
+    CsaltPolicy(std::uint32_t sets, std::uint32_t ways, ReplOpts opts,
+                std::unique_ptr<ReplPolicy> inner);
+
+    std::uint32_t victim(std::uint32_t set, const AccessInfo &ai,
+                         const BlockMeta *blocks) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &ai) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &ai) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 const BlockMeta &meta) override;
+    std::string name() const override;
+
+    /** Current translation way quota — exposed for tests. */
+    std::uint32_t translationQuota() const { return quota_; }
+
+  private:
+    void epochTick(const AccessInfo &ai, bool hit);
+
+    std::unique_ptr<ReplPolicy> inner_;
+    std::uint32_t quota_; ///< max ways translations may occupy per set
+
+    std::uint64_t epochAccesses_ = 0;
+    std::uint64_t trAcc_ = 0, trHit_ = 0;
+    std::uint64_t dataAcc_ = 0, dataHit_ = 0;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_REPL_CSALT_HH

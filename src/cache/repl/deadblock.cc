@@ -1,0 +1,87 @@
+#include "cache/repl/deadblock.hh"
+
+#include "common/rng.hh"
+
+namespace tacsim {
+
+DeadBlockPolicy::DeadBlockPolicy(std::uint32_t sets, std::uint32_t ways,
+                                 ReplOpts opts,
+                                 std::unique_ptr<ReplPolicy> inner)
+    : ReplPolicy(sets, ways, opts),
+      inner_(std::move(inner)),
+      deadCtr_(kTableSize, 0),
+      blockIdx_(static_cast<std::size_t>(sets) * ways, 0),
+      blockReused_(static_cast<std::size_t>(sets) * ways, 0)
+{}
+
+std::uint32_t
+DeadBlockPolicy::indexOf(Addr ip) const
+{
+    return static_cast<std::uint32_t>(hashMix(ip) & (kTableSize - 1));
+}
+
+bool
+DeadBlockPolicy::bypassFill(std::uint32_t set, const AccessInfo &ai)
+{
+    // Never bypass translations or writebacks; bypass data fills whose
+    // signature has a saturated dead counter.
+    if (ai.isTranslation() || ai.cat == BlockCat::Writeback)
+        return inner_->bypassFill(set, ai);
+    if (deadCtr_[indexOf(ai.ip)] >= kDeadThreshold) {
+        ++bypasses_;
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+DeadBlockPolicy::victim(std::uint32_t set, const AccessInfo &ai,
+                        const BlockMeta *blocks)
+{
+    return inner_->victim(set, ai, blocks);
+}
+
+void
+DeadBlockPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &ai)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    blockIdx_[idx] = indexOf(ai.ip);
+    blockReused_[idx] = 0;
+    inner_->onFill(set, way, ai);
+}
+
+void
+DeadBlockPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &ai)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    if (!blockReused_[idx]) {
+        blockReused_[idx] = 1;
+        std::uint8_t &c = deadCtr_[blockIdx_[idx]];
+        if (c > 0)
+            --c;
+    }
+    inner_->onHit(set, way, ai);
+}
+
+void
+DeadBlockPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                         const BlockMeta &meta)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    if (meta.valid && !blockReused_[idx]) {
+        std::uint8_t &c = deadCtr_[blockIdx_[idx]];
+        if (c < kCtrMax)
+            ++c;
+    }
+    inner_->onEvict(set, way, meta);
+}
+
+std::string
+DeadBlockPolicy::name() const
+{
+    return "CbPred(" + inner_->name() + ")";
+}
+
+} // namespace tacsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CbPred/DpPred-style dead-block management (Mazumdar et al., HPCA'21),
+ * used as a comparison point in the paper's §V-B.
+ *
+ * A sampling dead-block predictor (in the spirit of Khan et al.,
+ * MICRO'10) learns, per fill signature, whether blocks die without reuse;
+ * predicted-dead fills are bypassed at the LLC. The paper's argument is
+ * that bypassing frees space but does not shorten the ROB stalls of the
+ * replay loads themselves — our benches reproduce that comparison.
+ */
+
+#ifndef TACSIM_CACHE_REPL_DEADBLOCK_HH
+#define TACSIM_CACHE_REPL_DEADBLOCK_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/repl/policy.hh"
+
+namespace tacsim {
+
+class DeadBlockPolicy : public ReplPolicy
+{
+  public:
+    static constexpr std::uint32_t kTableBits = 13;
+    static constexpr std::uint32_t kTableSize = 1u << kTableBits;
+    static constexpr std::uint8_t kCtrMax = 3;
+    /** Bypass when the 2-bit dead counter saturates. */
+    static constexpr std::uint8_t kDeadThreshold = 3;
+
+    /** Wraps @p inner (typically SHiP) and adds bypass. */
+    DeadBlockPolicy(std::uint32_t sets, std::uint32_t ways, ReplOpts opts,
+                    std::unique_ptr<ReplPolicy> inner);
+
+    std::uint32_t victim(std::uint32_t set, const AccessInfo &ai,
+                         const BlockMeta *blocks) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &ai) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &ai) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 const BlockMeta &meta) override;
+    bool bypassFill(std::uint32_t set, const AccessInfo &ai) override;
+    std::string name() const override;
+
+    std::uint64_t bypasses() const { return bypasses_; }
+
+  private:
+    std::uint32_t indexOf(Addr ip) const;
+
+    std::unique_ptr<ReplPolicy> inner_;
+    std::vector<std::uint8_t> deadCtr_;
+    std::vector<std::uint32_t> blockIdx_;
+    std::vector<std::uint8_t> blockReused_;
+    std::uint64_t bypasses_ = 0;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_REPL_DEADBLOCK_HH

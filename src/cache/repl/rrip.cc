@@ -1,0 +1,120 @@
+#include "cache/repl/rrip.hh"
+
+namespace tacsim {
+
+RripBase::RripBase(std::uint32_t sets, std::uint32_t ways, ReplOpts opts)
+    : ReplPolicy(sets, ways, opts),
+      rrpv_(static_cast<std::size_t>(sets) * ways, kMaxRrpv)
+{}
+
+std::uint32_t
+RripBase::victim(std::uint32_t set, const AccessInfo &, const BlockMeta *)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    // Evict the first block at distant RRPV; if none, age the whole set
+    // and retry (guaranteed to terminate).
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[base + w] == kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ++rrpv_[base + w];
+    }
+}
+
+void
+RripBase::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    setRrpv(set, way, 0);
+}
+
+std::uint8_t
+RripBase::overrideInsertion(const AccessInfo &ai, std::uint8_t base) const
+{
+    // ATP / TEMPO prefetches are inserted dead-on-arrival by design.
+    if (ai.distantHint)
+        return kMaxRrpv;
+    if (opts_.translationRrpv0 && ai.isLeafTranslation())
+        return 0;
+    if (ai.isReplay && ai.cat == BlockCat::Replay) {
+        if (opts_.replayRrpv0)
+            return 0; // Fig. 10 ablation
+        if (opts_.replayEvictFast)
+            return kMaxRrpv;
+    }
+    return base;
+}
+
+void
+SrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &ai)
+{
+    setRrpv(set, way, overrideInsertion(ai, kMaxRrpv - 1));
+}
+
+void
+BrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &ai)
+{
+    const std::uint8_t base =
+        rng_.range(32) == 0 ? kMaxRrpv - 1 : kMaxRrpv;
+    setRrpv(set, way, overrideInsertion(ai, base));
+}
+
+DrripPolicy::DrripPolicy(std::uint32_t sets, std::uint32_t ways,
+                         ReplOpts opts, std::uint64_t seed)
+    : RripBase(sets, ways, opts), rng_(seed)
+{
+    // Spread the leader sets evenly: sets [k*stride] lead for SRRIP,
+    // [k*stride + stride/2] for BRRIP.
+    leaderStride_ = sets_ >= 2 * kLeaderSets ? sets_ / kLeaderSets : 2;
+}
+
+bool
+DrripPolicy::isSrripLeader(std::uint32_t set) const
+{
+    return set % leaderStride_ == 0;
+}
+
+bool
+DrripPolicy::isBrripLeader(std::uint32_t set) const
+{
+    return set % leaderStride_ == leaderStride_ / 2;
+}
+
+void
+DrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &ai)
+{
+    // A fill implies a miss; leader-set misses steer PSEL.
+    bool useBrrip;
+    if (isSrripLeader(set)) {
+        useBrrip = false;
+        if (psel_ < kPselMax)
+            ++psel_; // SRRIP leader missed: vote for BRRIP
+    } else if (isBrripLeader(set)) {
+        useBrrip = true;
+        if (psel_ > 0)
+            --psel_; // BRRIP leader missed: vote for SRRIP
+    } else {
+        useBrrip = psel_ > kPselMax / 2;
+    }
+
+    std::uint8_t base;
+    if (useBrrip)
+        base = rng_.range(32) == 0 ? kMaxRrpv - 1 : kMaxRrpv;
+    else
+        base = kMaxRrpv - 1;
+    setRrpv(set, way, overrideInsertion(ai, base));
+}
+
+std::string
+DrripPolicy::name() const
+{
+    if (opts_.translationRrpv0 || opts_.replayEvictFast)
+        return "T-DRRIP";
+    return "DRRIP";
+}
+
+} // namespace tacsim

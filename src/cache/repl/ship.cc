@@ -1,0 +1,88 @@
+#include "cache/repl/ship.hh"
+
+#include "common/rng.hh"
+
+namespace tacsim {
+
+ShipPolicy::ShipPolicy(std::uint32_t sets, std::uint32_t ways,
+                       ReplOpts opts)
+    : RripBase(sets, ways, opts),
+      shct_(kShctSize, 1),
+      blockSig_(static_cast<std::size_t>(sets) * ways, 0),
+      blockOutcome_(static_cast<std::size_t>(sets) * ways, 0)
+{}
+
+std::uint32_t
+ShipPolicy::signatureFor(Addr ip, bool isTranslation, bool isReplay) const
+{
+    std::uint64_t key = ip;
+    if (opts_.newSignatures) {
+        // Paper §IV: shift the IP by the flags so the three traffic
+        // classes hash to disjoint SHCT regions.
+        key = (ip << 2) | (isTranslation ? 1u : 0u) |
+            (isReplay ? 2u : 0u);
+    }
+    return static_cast<std::uint32_t>(hashMix(key) & (kShctSize - 1));
+}
+
+std::uint32_t
+ShipPolicy::sigOf(const AccessInfo &ai) const
+{
+    return signatureFor(ai.ip, ai.isTranslation(), ai.isReplay);
+}
+
+void
+ShipPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &ai)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    const std::uint32_t sig = sigOf(ai);
+    blockSig_[idx] = sig;
+    blockOutcome_[idx] = 0;
+
+    // SHiP insertion: predicted-dead signatures insert distant.
+    std::uint8_t base = shct_[sig] == 0 ? kMaxRrpv : kMaxRrpv - 1;
+    setRrpv(set, way, overrideInsertion(ai, base));
+}
+
+void
+ShipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &ai)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    if (!blockOutcome_[idx]) {
+        blockOutcome_[idx] = 1;
+        std::uint8_t &ctr = shct_[blockSig_[idx]];
+        if (ctr < kCounterMax)
+            ++ctr;
+    }
+    RripBase::onHit(set, way, ai);
+}
+
+void
+ShipPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                    const BlockMeta &meta)
+{
+    if (!meta.valid)
+        return;
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    if (!blockOutcome_[idx]) {
+        std::uint8_t &ctr = shct_[blockSig_[idx]];
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+std::string
+ShipPolicy::name() const
+{
+    if (opts_.translationRrpv0 && opts_.newSignatures)
+        return "T-SHiP";
+    if (opts_.newSignatures)
+        return "SHiP-NewSign";
+    if (opts_.translationRrpv0)
+        return "SHiP-TR0";
+    return "SHiP";
+}
+
+} // namespace tacsim

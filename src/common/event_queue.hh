@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Global simulation event queue: a min-heap of (cycle, callback) pairs.
+ *
+ * All timed components (caches, DRAM, the page-table walker, the core)
+ * share one EventQueue. Components schedule completion callbacks rather
+ * than polling, which keeps the simulator fast even when the ROB is
+ * stalled for hundreds of cycles.
+ */
+
+#ifndef TACSIM_COMMON_EVENT_QUEUE_HH
+#define TACSIM_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+/**
+ * A simple deterministic discrete-event queue.
+ *
+ * Events scheduled for the same cycle fire in insertion order (a
+ * monotonically increasing sequence number breaks ties), which keeps runs
+ * bit-reproducible across platforms.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void
+    schedule(Cycle delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute cycle @p when (>= now). */
+    void
+    scheduleAt(Cycle when, Callback cb)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the earliest pending event; now() if empty. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? now_ : heap_.top().when;
+    }
+
+    /**
+     * Advance time to cycle @p target, running every event scheduled at or
+     * before it. Events may schedule further events; those are run too if
+     * they fall within the window.
+     */
+    void
+    advanceTo(Cycle target)
+    {
+        while (!heap_.empty() && heap_.top().when <= target) {
+            // Copy out before pop so the callback may schedule new events.
+            Event ev = std::move(const_cast<Event &>(heap_.top()));
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        if (target > now_)
+            now_ = target;
+    }
+
+    /** Run a single pending event (earliest); returns false if none. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        seq_ = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental scalar types and address-geometry constants shared by every
+ * tacsim component.
+ */
+
+#ifndef TACSIM_COMMON_TYPES_HH
+#define TACSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace tacsim {
+
+/** A byte address (virtual or physical depending on context). */
+using Addr = std::uint64_t;
+
+/** A point in time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Number of bits in a cache block offset (64-byte blocks). */
+constexpr unsigned kBlockBits = 6;
+/** Cache block size in bytes. */
+constexpr Addr kBlockSize = Addr{1} << kBlockBits;
+/** Number of bits in a 4KB page offset. */
+constexpr unsigned kPageBits = 12;
+/** Page size in bytes. */
+constexpr Addr kPageSize = Addr{1} << kPageBits;
+/** Bits of virtual address translated per radix page-table level. */
+constexpr unsigned kPtIndexBits = 9;
+/** Entries per page-table page (2^9). */
+constexpr unsigned kPtEntries = 1u << kPtIndexBits;
+/** Size of one page-table entry in bytes. */
+constexpr Addr kPteSize = 8;
+/** Number of radix page-table levels (57-bit virtual addresses). */
+constexpr unsigned kPtLevels = 5;
+
+/** Strip the block offset from an address. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~(kBlockSize - 1);
+}
+
+/** Block number of an address (address >> 6). */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> kBlockBits;
+}
+
+/** Strip the page offset from an address. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(kPageSize - 1);
+}
+
+/** Virtual page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/**
+ * 9-bit radix index used by page-table level @p level (1 = leaf,
+ * kPtLevels = root) for virtual address @p va.
+ */
+constexpr unsigned
+ptIndex(Addr va, unsigned level)
+{
+    return (va >> (kPageBits + (level - 1) * kPtIndexBits)) &
+        (kPtEntries - 1);
+}
+
+} // namespace tacsim
+
+#endif // TACSIM_COMMON_TYPES_HH

@@ -1,0 +1,267 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tacsim {
+
+Core::Core(CoreParams params, EventQueue &eq, Workload &workload,
+           Tlb &dtlb, Tlb &stlb, PageTableWalker &ptw, MemDevice &l1d)
+    : params_(params),
+      eq_(eq),
+      workload_(workload),
+      dtlb_(dtlb),
+      stlb_(stlb),
+      ptw_(ptw),
+      l1d_(l1d),
+      rob_(params_.robSize)
+{}
+
+StallKind
+Core::classifyHead() const
+{
+    const RobEntry &h = head();
+    if (h.complete)
+        return StallKind::None;
+    if (h.kind != TraceRecord::Kind::NonMem && h.stlbMiss) {
+        if (h.wait == StallKind::Translation)
+            return StallKind::Translation;
+        if (h.wait == StallKind::Replay)
+            return StallKind::Replay;
+    }
+    return StallKind::Other;
+}
+
+void
+Core::chargeHeadStall(Cycle n)
+{
+    RobEntry &h = head();
+    switch (classifyHead()) {
+      case StallKind::Translation:
+        h.tStall += n;
+        stats_.stallCyclesT += n;
+        break;
+      case StallKind::Replay:
+        h.rStall += n;
+        stats_.stallCyclesR += n;
+        break;
+      case StallKind::Other:
+        h.nStall += n;
+        stats_.stallCyclesN += n;
+        break;
+      case StallKind::None:
+        break;
+    }
+}
+
+bool
+Core::blocked() const
+{
+    return robFull() && !head().complete;
+}
+
+void
+Core::chargeSkippedCycles(Cycle n)
+{
+    if (count_ && !head().complete)
+        chargeHeadStall(n);
+}
+
+void
+Core::retireHead()
+{
+    RobEntry &h = head();
+    assert(h.complete);
+    ++stats_.retired;
+    if (h.kind == TraceRecord::Kind::Load)
+        ++stats_.loads;
+    else if (h.kind == TraceRecord::Kind::Store)
+        ++stats_.stores;
+
+    if (h.kind != TraceRecord::Kind::NonMem) {
+        if (h.stlbMiss) {
+            stats_.stallPerWalk.add(h.tStall);
+            stats_.stallPerReplay.add(h.rStall);
+        } else {
+            stats_.stallPerNonReplay.add(h.nStall);
+        }
+    }
+    ++headSeq_;
+    --count_;
+}
+
+void
+Core::tick()
+{
+    // 1. Retire in order, bounded by retire width.
+    unsigned retiredNow = 0;
+    while (count_ && retiredNow < params_.retireWidth && head().complete) {
+        retireHead();
+        ++retiredNow;
+    }
+    if (count_ && !head().complete)
+        chargeHeadStall(1);
+
+    // 2. Dispatch new instructions.
+    for (unsigned d = 0; d < params_.issueWidth && !robFull(); ++d)
+        dispatchOne();
+}
+
+void
+Core::dispatchOne()
+{
+    const std::uint64_t seq = nextSeq_++;
+    RobEntry &e = entryFor(seq);
+    TraceRecord t = workload_.next();
+
+    e.ip = t.ip;
+    e.vaddr = t.vaddr;
+    e.kind = t.kind;
+    e.complete = false;
+    e.issued = false;
+    e.stlbMiss = false;
+    e.wait = StallKind::None;
+    e.producerSeq = -1;
+    e.tStall = e.rStall = e.nStall = 0;
+    ++count_;
+
+    if (t.kind == TraceRecord::Kind::NonMem) {
+        // Retire width bounds non-memory IPC; no need to model latency.
+        e.complete = true;
+        return;
+    }
+
+    if (t.dependsOnPrevLoad && lastLoadSeq_ >= 0 &&
+        static_cast<std::uint64_t>(lastLoadSeq_) >= headSeq_ &&
+        !entryFor(static_cast<std::uint64_t>(lastLoadSeq_)).complete) {
+        e.producerSeq = lastLoadSeq_;
+    }
+
+    if (t.kind == TraceRecord::Kind::Load)
+        lastLoadSeq_ = static_cast<std::int64_t>(seq);
+
+    tryIssue(seq);
+}
+
+void
+Core::tryIssue(std::uint64_t seq)
+{
+    RobEntry &e = entryFor(seq);
+    if (e.issued)
+        return;
+    if (e.producerSeq >= 0 &&
+        !entryFor(static_cast<std::uint64_t>(e.producerSeq)).complete) {
+        waitingOnProducer_.push_back(seq);
+        return;
+    }
+    issueMemOp(seq);
+}
+
+void
+Core::issueMemOp(std::uint64_t seq)
+{
+    RobEntry &e = entryFor(seq);
+    e.issued = true;
+
+    const Addr vpn = pageNumber(e.vaddr);
+    Addr pfn = 0;
+
+    if (dtlb_.lookup(params_.asid, vpn, pfn)) {
+        const Addr paddr = pfn | (e.vaddr & (kPageSize - 1));
+        eq_.schedule(dtlb_.latency(), [this, seq, paddr] {
+            startDataAccess(seq, paddr, false);
+        });
+        return;
+    }
+
+    if (stlb_.lookup(params_.asid, vpn, pfn)) {
+        dtlb_.fill(params_.asid, vpn, pfn);
+        const Addr paddr = pfn | (e.vaddr & (kPageSize - 1));
+        eq_.schedule(dtlb_.latency() + stlb_.latency(),
+                     [this, seq, paddr] {
+                         startDataAccess(seq, paddr, false);
+                     });
+        return;
+    }
+
+    // STLB miss: page-table walk. The eventual data access is a replay.
+    e.stlbMiss = true;
+    e.wait = StallKind::Translation;
+    ++stats_.stlbMissAccesses;
+    const Addr vaddr = e.vaddr;
+    const Addr ip = e.ip;
+    eq_.schedule(dtlb_.latency() + stlb_.latency(), [this, seq, vaddr,
+                                                     ip] {
+        ptw_.walk(params_.asid, vaddr, ip, params_.cpuId,
+                  [this, seq, vaddr](Addr dataPaddr, RespSource) {
+                      dtlb_.fill(params_.asid, pageNumber(vaddr),
+                                 pageAlign(dataPaddr));
+                      // The replay re-issues only after the STLB and
+                      // DTLB fills complete — the window ATP exploits.
+                      eq_.schedule(
+                          stlb_.latency() + dtlb_.latency(),
+                          [this, seq, dataPaddr] {
+                              startDataAccess(seq, dataPaddr, true);
+                          });
+                  });
+    });
+}
+
+void
+Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay)
+{
+    RobEntry &e = entryFor(seq);
+    e.wait = replay ? StallKind::Replay : StallKind::Other;
+
+    auto req = std::make_shared<MemRequest>();
+    req->paddr = paddr;
+    req->vaddr = e.vaddr;
+    req->ip = e.ip;
+    req->isReplay = replay;
+    req->cpu = params_.cpuId;
+    req->issuedAt = eq_.now();
+
+    if (e.kind == TraceRecord::Kind::Store) {
+        // Stores retire once translated; the write proceeds in the
+        // background and nobody waits on it.
+        req->type = ReqType::Store;
+        l1d_.access(req);
+        completeEntry(seq);
+        return;
+    }
+
+    req->type = ReqType::Load;
+    req->onComplete = [this, seq](MemRequest &) { completeEntry(seq); };
+    l1d_.access(req);
+}
+
+void
+Core::completeEntry(std::uint64_t seq)
+{
+    RobEntry &e = entryFor(seq);
+    e.complete = true;
+    e.wait = StallKind::None;
+    wakeDependents(seq);
+}
+
+void
+Core::wakeDependents(std::uint64_t producerSeq)
+{
+    if (waitingOnProducer_.empty())
+        return;
+    std::vector<std::uint64_t> still;
+    still.reserve(waitingOnProducer_.size());
+    std::vector<std::uint64_t> ready;
+    for (std::uint64_t s : waitingOnProducer_) {
+        if (entryFor(s).producerSeq ==
+            static_cast<std::int64_t>(producerSeq))
+            ready.push_back(s);
+        else
+            still.push_back(s);
+    }
+    waitingOnProducer_.swap(still);
+    for (std::uint64_t s : ready)
+        issueMemOp(s);
+}
+
+} // namespace tacsim

@@ -1,0 +1,109 @@
+#include "mem/dram.hh"
+
+#include "common/rng.hh"
+
+namespace tacsim {
+
+Dram::Dram(std::string name, EventQueue &eq, DramParams p)
+    : name_(std::move(name)), eq_(eq), params_(p)
+{
+    channels_.resize(params_.channels);
+    for (auto &ch : channels_)
+        ch.banks.resize(params_.banksPerChannel);
+}
+
+unsigned
+Dram::channelOf(Addr paddr) const
+{
+    // Interleave channels at block granularity.
+    return blockNumber(paddr) % params_.channels;
+}
+
+unsigned
+Dram::bankOf(Addr paddr) const
+{
+    // Interleave banks at row granularity with a mixing hash so that
+    // strided streams spread across banks.
+    return static_cast<unsigned>(hashMix(paddr / params_.rowBytes) %
+                                 params_.banksPerChannel);
+}
+
+Addr
+Dram::rowOf(Addr paddr) const
+{
+    return paddr / params_.rowBytes;
+}
+
+Cycle
+Dram::serviceLine(Addr paddr, bool isWrite)
+{
+    Channel &ch = channels_[channelOf(paddr)];
+    Bank &bank = ch.banks[bankOf(paddr)];
+    const Addr row = rowOf(paddr);
+
+    Cycle start = eq_.now() + params_.tController;
+    if (bank.readyAt > start)
+        start = bank.readyAt;
+
+    Cycle accessLat;
+    if (bank.rowValid && bank.openRow == row) {
+        accessLat = params_.tCas;
+        ++stats_.rowHits;
+    } else if (!bank.rowValid) {
+        accessLat = params_.tRcd + params_.tCas;
+        ++stats_.rowMisses;
+    } else {
+        accessLat = params_.tRp + params_.tRcd + params_.tCas;
+        ++stats_.rowConflicts;
+    }
+    bank.rowValid = true;
+    bank.openRow = row;
+
+    Cycle dataStart = start + accessLat;
+    if (dataStart < ch.busFreeAt)
+        dataStart = ch.busFreeAt;
+    ch.busFreeAt = dataStart + params_.tBurst;
+    stats_.busyCycles += params_.tBurst;
+
+    // The bank can begin its next activate once the column access is done.
+    bank.readyAt = dataStart;
+
+    if (isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    return dataStart + params_.tBurst;
+}
+
+void
+Dram::access(const MemRequestPtr &req)
+{
+    if (req->type == ReqType::Writeback) {
+        // Writes are posted: charge bandwidth, nobody waits.
+        serviceLine(req->blockAddr(), true);
+        req->complete(eq_.now(), RespSource::DRAM);
+        return;
+    }
+
+    const Cycle doneAt = serviceLine(req->blockAddr(), false);
+
+    if (req->isTranslation())
+        ++stats_.translationReads;
+
+    // TEMPO: a leaf PTE read serviced at DRAM means the demand load that
+    // is waiting on this translation will miss the whole hierarchy next.
+    // Fetch its data line right now and hand it to the LLC.
+    if (params_.tempo && req->isLeafTranslation() &&
+        req->replayBlockPaddr != 0 && tempoHook_) {
+        ++stats_.tempoPrefetches;
+        tempoHook_(blockAlign(req->replayBlockPaddr), req->ip);
+    }
+
+    MemRequestPtr keep = req;
+    eq_.scheduleAt(doneAt, [keep, doneAt] {
+        keep->complete(doneAt, RespSource::DRAM);
+    });
+}
+
+} // namespace tacsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The request object that flows through the memory hierarchy, and the
+ * abstract device interface every level (cache, DRAM controller)
+ * implements.
+ *
+ * The paper's mechanisms hinge on the hierarchy being able to tell three
+ * kinds of block apart: page-table-entry blocks (tagged with their
+ * page-table level), *replay* data blocks (demand loads whose translation
+ * missed the STLB), and ordinary non-replay data. MemRequest carries those
+ * flags end to end — this is the "additional flags from the page-table
+ * walker into the cache hierarchy" the paper's abstract calls out.
+ */
+
+#ifndef TACSIM_MEM_REQUEST_HH
+#define TACSIM_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+/** Kind of memory transaction. */
+enum class ReqType : std::uint8_t
+{
+    Load,        ///< demand data read
+    Store,       ///< demand data write (modelled as read-for-ownership)
+    Prefetch,    ///< hardware prefetch
+    Writeback,   ///< dirty eviction travelling down
+    Translation, ///< page-table-walker read of a PTE block
+};
+
+/** Which hierarchy level produced the data for a completed request. */
+enum class RespSource : std::uint8_t
+{
+    None,
+    L1D,
+    L2C,
+    LLC,
+    DRAM,
+    IdealL2C, ///< hit granted by the ideal-L2C mode (paper Fig. 2)
+    IdealLLC, ///< hit granted by the ideal-LLC mode (paper Fig. 2)
+};
+
+/** Who generated a prefetch (for accuracy accounting). */
+enum class PrefetchOrigin : std::uint8_t
+{
+    None,
+    DataPrefetcher, ///< SPP / Bingo / IPCP / ISB / stride
+    Atp,            ///< the paper's translation-hit-triggered prefetcher
+    Tempo,          ///< TEMPO DRAM-controller prefetch
+};
+
+class MemRequest;
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+/**
+ * One memory transaction. Allocated by the requester (core or PTW) and
+ * passed by shared_ptr so MSHR merging can hang several requesters off the
+ * same in-flight line.
+ */
+class MemRequest
+{
+  public:
+    using Callback = std::function<void(MemRequest &)>;
+
+    Addr paddr = 0;      ///< physical byte address
+    Addr vaddr = 0;      ///< originating virtual address (0 for PTW/WB)
+    Addr ip = 0;         ///< instruction pointer of the triggering op
+    ReqType type = ReqType::Load;
+
+    /** Page-table level for Translation requests: 1 = leaf ... 5 = root,
+     *  0 for data requests. */
+    std::uint8_t ptLevel = 0;
+
+    /** Demand data access whose translation missed the STLB. */
+    bool isReplay = false;
+
+    /** For leaf-level Translation requests: the block address of the data
+     *  line the in-flight demand load will access once translation
+     *  completes. Architecturally this is reconstructed from the PTE
+     *  contents plus the upper six page-offset bits the PTW carries
+     *  (paper §IV); the simulator just plumbs it through. */
+    Addr replayBlockPaddr = 0;
+
+    PrefetchOrigin prefetchOrigin = PrefetchOrigin::None;
+
+    std::uint16_t cpu = 0; ///< issuing hardware context
+
+    Cycle issuedAt = 0;
+    Cycle completedAt = 0;
+    RespSource source = RespSource::None;
+    bool done = false;
+
+    /** Invoked exactly once when the request's data is available. */
+    Callback onComplete;
+
+    /** True for PTW reads of the leaf page-table level. */
+    bool isLeafTranslation() const
+    {
+        return type == ReqType::Translation && ptLevel == 1;
+    }
+
+    bool isTranslation() const { return type == ReqType::Translation; }
+
+    bool isDemand() const
+    {
+        return type == ReqType::Load || type == ReqType::Store;
+    }
+
+    /** Block-aligned physical address. */
+    Addr blockAddr() const { return blockAlign(paddr); }
+
+    /** Mark complete and fire the callback. */
+    void
+    complete(Cycle when, RespSource src)
+    {
+        if (done)
+            return;
+        done = true;
+        completedAt = when;
+        source = src;
+        if (onComplete)
+            onComplete(*this);
+    }
+};
+
+/**
+ * Anything that can accept a MemRequest: a cache level or the DRAM
+ * controller. Devices call req->complete() (possibly much later) when the
+ * data is available.
+ */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /** Hand a request to this device. The device owns scheduling. */
+    virtual void access(const MemRequestPtr &req) = 0;
+
+    /** Device name for reports. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_MEM_REQUEST_HH

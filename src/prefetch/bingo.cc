@@ -1,0 +1,96 @@
+#include "prefetch/bingo.hh"
+
+#include "common/rng.hh"
+
+namespace tacsim {
+
+std::uint64_t
+BingoPrefetcher::longEvent(Addr pc, Addr region,
+                           std::uint32_t offset) const
+{
+    return hashCombine(hashCombine(pc, region), offset);
+}
+
+std::uint64_t
+BingoPrefetcher::shortEvent(Addr pc, std::uint32_t offset) const
+{
+    return hashCombine(pc, offset) | (std::uint64_t{1} << 63);
+}
+
+void
+BingoPrefetcher::capHistory(
+    std::unordered_map<std::uint64_t, std::uint32_t> &h)
+{
+    // Cheap pressure relief: drop everything when over capacity. Real
+    // Bingo uses a set-associative table; the learning dynamics are the
+    // same for our purposes.
+    if (h.size() > kHistoryCap)
+        h.clear();
+}
+
+void
+BingoPrefetcher::evictAccum(AccumEntry &e)
+{
+    if (!e.valid)
+        return;
+    const Addr regionBase = e.region << kRegionBits;
+    longHistory_[longEvent(e.triggerPc, regionBase, e.triggerOffset)] =
+        e.footprint;
+    shortHistory_[shortEvent(e.triggerPc, e.triggerOffset)] = e.footprint;
+    capHistory(longHistory_);
+    capHistory(shortHistory_);
+    e.valid = false;
+}
+
+void
+BingoPrefetcher::onAccess(const AccessInfo &ai, bool)
+{
+    const Addr region = ai.blockAddr >> kRegionBits;
+    const auto offset = static_cast<std::uint32_t>(
+        (ai.blockAddr & (kRegionSize - 1)) >> kBlockBits);
+
+    // Find the accumulation entry for this region.
+    AccumEntry *entry = nullptr;
+    AccumEntry *victim = &accum_[0];
+    for (auto &e : accum_) {
+        if (e.valid && e.region == region) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lru < victim->lru)
+            victim = &e;
+    }
+
+    if (entry) {
+        entry->footprint |= 1u << offset;
+        entry->lru = clock_++;
+        return;
+    }
+
+    // Region trigger: predict its footprint from history.
+    evictAccum(*victim);
+    victim->valid = true;
+    victim->region = region;
+    victim->footprint = 1u << offset;
+    victim->triggerPc = ai.ip;
+    victim->triggerOffset = offset;
+    victim->lru = clock_++;
+
+    const Addr regionBase = region << kRegionBits;
+    std::uint32_t footprint = 0;
+    auto lit = longHistory_.find(longEvent(ai.ip, regionBase, offset));
+    if (lit != longHistory_.end()) {
+        footprint = lit->second;
+    } else {
+        auto sit = shortHistory_.find(shortEvent(ai.ip, offset));
+        if (sit != shortHistory_.end())
+            footprint = sit->second;
+    }
+
+    for (unsigned b = 0; b < kBlocksPerRegion; ++b) {
+        if ((footprint & (1u << b)) && b != offset)
+            issueSamePage(regionBase + Addr(b) * kBlockSize, 0, ai.ip);
+    }
+}
+
+} // namespace tacsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bingo spatial prefetcher (Bakhshalipour et al., HPCA'19). Records the
+ * footprint (block bitmap) of each 2KB region while it is live in an
+ * accumulation table; on region eviction the footprint is stored in a
+ * history table under both a long (PC+address) and short (PC+offset)
+ * event. A region's first access looks the events up — long event
+ * preferred — and prefetches the recorded footprint. Region-bound like
+ * SPP, so replay loads on fresh pages are out of reach (paper Fig. 8).
+ */
+
+#ifndef TACSIM_PREFETCH_BINGO_HH
+#define TACSIM_PREFETCH_BINGO_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+class BingoPrefetcher : public Prefetcher
+{
+  public:
+    static constexpr unsigned kRegionBits = 11; ///< 2KB regions
+    static constexpr Addr kRegionSize = Addr{1} << kRegionBits;
+    static constexpr unsigned kBlocksPerRegion =
+        static_cast<unsigned>(kRegionSize / kBlockSize);
+    static constexpr std::size_t kAccumEntries = 64;
+    static constexpr std::size_t kHistoryCap = 1u << 15;
+
+    void onAccess(const AccessInfo &ai, bool hit) override;
+    std::string name() const override { return "Bingo"; }
+
+  private:
+    struct AccumEntry
+    {
+        Addr region = 0;
+        std::uint32_t footprint = 0;
+        Addr triggerPc = 0;
+        std::uint32_t triggerOffset = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t longEvent(Addr pc, Addr region,
+                            std::uint32_t offset) const;
+    std::uint64_t shortEvent(Addr pc, std::uint32_t offset) const;
+    void evictAccum(AccumEntry &e);
+    void capHistory(std::unordered_map<std::uint64_t, std::uint32_t> &h);
+
+    std::vector<AccumEntry> accum_{kAccumEntries};
+    std::unordered_map<std::uint64_t, std::uint32_t> longHistory_;
+    std::unordered_map<std::uint64_t, std::uint32_t> shortHistory_;
+    std::uint64_t clock_ = 1;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_BINGO_HH

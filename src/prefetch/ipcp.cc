@@ -1,0 +1,95 @@
+#include "prefetch/ipcp.hh"
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+void
+IpcpPrefetcher::onAccess(const AccessInfo &ai, bool)
+{
+    if (ai.vaddr == 0)
+        return; // virtual-address prefetcher needs the VA
+
+    const Addr vblock = blockNumber(ai.vaddr);
+
+    // --- GS class: dense-region stream detection (next-line burst).
+    // Global across IPs, so it runs before any per-IP filtering. ---
+    const Addr region = ai.vaddr >> 11; // 2KB region
+    if (stream_.region == region) {
+        if (++stream_.touches >= 3) {
+            const std::int64_t dir = stream_.ascending ? 1 : -1;
+            for (unsigned d = 1; d <= kGsDegree; ++d)
+                issueVirtual(ai.vaddr +
+                                 Addr(dir * std::int64_t(d)) * kBlockSize,
+                             ai.ip, ai.cpu);
+        }
+        stream_.ascending = vblock >= stream_.lastVblock;
+    } else {
+        stream_.region = region;
+        stream_.touches = 1;
+    }
+    stream_.lastVblock = vblock;
+
+    IpEntry &e = ipTable_[hashMix(ai.ip) % kIpEntries];
+    if (!e.valid || e.ipTag != ai.ip) {
+        e = IpEntry{};
+        e.ipTag = ai.ip;
+        e.lastVblock = vblock;
+        e.valid = true;
+        return;
+    }
+
+    const std::int64_t delta = static_cast<std::int64_t>(vblock) -
+        static_cast<std::int64_t>(e.lastVblock);
+    if (delta == 0)
+        return;
+
+    // --- CS class: constant stride with 2-bit confidence. ---
+    if (delta == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0)
+            --e.confidence;
+        if (e.confidence == 0)
+            e.stride = delta;
+    }
+
+    // --- CPLX class: delta-signature prediction. ---
+    CsptEntry &c = cspt_[e.signature];
+    if (c.delta == delta) {
+        if (c.confidence < 3)
+            ++c.confidence;
+    } else if (c.confidence > 0) {
+        --c.confidence;
+    } else {
+        c.delta = static_cast<std::int32_t>(delta);
+    }
+    const std::uint16_t newSig = updateSig(e.signature, delta);
+
+    if (e.confidence >= 2) {
+        // CS prefetches cross pages on virtual addresses.
+        for (unsigned d = 1; d <= kCsDegree; ++d)
+            issueVirtual(ai.vaddr +
+                             Addr(e.stride * std::int64_t(d)) * kBlockSize,
+                         ai.ip, ai.cpu);
+    } else if (c.confidence >= 2 && c.delta != 0) {
+        // CPLX: follow the predicted delta chain a couple of steps.
+        std::uint16_t sig = newSig;
+        Addr v = ai.vaddr;
+        for (unsigned d = 0; d < 2; ++d) {
+            const CsptEntry &n = cspt_[sig];
+            if (n.confidence < 2 || n.delta == 0)
+                break;
+            v += Addr(std::int64_t(n.delta)) * kBlockSize;
+            issueVirtual(v, ai.ip, ai.cpu);
+            sig = updateSig(sig, n.delta);
+        }
+    }
+
+    e.signature = newSig;
+    e.lastVblock = vblock;
+}
+
+} // namespace tacsim

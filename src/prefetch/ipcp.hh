@@ -1,0 +1,76 @@
+/**
+ * @file
+ * IPCP — Instruction Pointer Classifier-based spatial Prefetching
+ * (Pakalapati & Panda, ISCA'20). An L1D prefetcher that classifies each
+ * load IP as constant-stride (CS), complex-stride (CPLX) or part of a
+ * global stream (GS) and prefetches accordingly on *virtual* addresses,
+ * so it can cross page boundaries — but every crossing needs the TLB:
+ * the translate hook drops prefetches whose pages miss the STLB, which
+ * reproduces the paper's finding (§III) that even cross-page IPCP cannot
+ * cover replay loads because those prefetches are exactly the ones that
+ * stall behind the walk.
+ */
+
+#ifndef TACSIM_PREFETCH_IPCP_HH
+#define TACSIM_PREFETCH_IPCP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+class IpcpPrefetcher : public Prefetcher
+{
+  public:
+    static constexpr std::size_t kIpEntries = 64;
+    static constexpr std::size_t kCsptEntries = 1024; ///< CPLX table
+    static constexpr unsigned kCsDegree = 3;
+    static constexpr unsigned kGsDegree = 4;
+
+    void onAccess(const AccessInfo &ai, bool hit) override;
+    std::string name() const override { return "IPCP"; }
+
+  private:
+    struct IpEntry
+    {
+        Addr ipTag = 0;
+        Addr lastVblock = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        std::uint16_t signature = 0; ///< CPLX delta signature
+        bool valid = false;
+    };
+
+    struct CsptEntry
+    {
+        std::int32_t delta = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    /** Global-stream detector state. */
+    struct Stream
+    {
+        Addr region = 0;
+        std::uint8_t touches = 0;
+        bool ascending = true;
+        Addr lastVblock = 0;
+    };
+
+    static std::uint16_t
+    updateSig(std::uint16_t sig, std::int64_t delta)
+    {
+        return static_cast<std::uint16_t>(
+            ((sig << 3) ^ (static_cast<std::uint64_t>(delta) & 0x3f)) &
+            (kCsptEntries - 1));
+    }
+
+    std::array<IpEntry, kIpEntries> ipTable_;
+    std::array<CsptEntry, kCsptEntries> cspt_;
+    Stream stream_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_IPCP_HH

@@ -1,0 +1,73 @@
+#include "prefetch/isb.hh"
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+void
+IsbPrefetcher::capMaps()
+{
+    // Off-chip metadata in real ISB is ~MBs; we emulate finite capacity
+    // by discarding everything when the cap is reached.
+    if (ps_.size() > kMapCap || sp_.size() > kMapCap) {
+        ps_.clear();
+        sp_.clear();
+        nextStructural_ = kRegionSize;
+    }
+}
+
+void
+IsbPrefetcher::link(Addr prevBlock, Addr curBlock)
+{
+    std::uint64_t sPrev = 0;
+    auto it = ps_.find(prevBlock);
+    if (it != ps_.end())
+        sPrev = it->second;
+
+    if (sPrev == 0 || (sPrev + 1) % kRegionSize == 0) {
+        // Start a new structural region for the pair.
+        sPrev = nextStructural_;
+        nextStructural_ += kRegionSize;
+        ps_[prevBlock] = sPrev;
+        sp_[sPrev] = prevBlock;
+    }
+
+    // First mapping wins: a block already linearized keeps its place so
+    // cyclic streams stay predictable (stale links age out via the cap).
+    const std::uint64_t sCur = sPrev + 1;
+    if (ps_.emplace(curBlock, sCur).second)
+        sp_[sCur] = curBlock;
+    capMaps();
+}
+
+void
+IsbPrefetcher::onAccess(const AccessInfo &ai, bool)
+{
+    const Addr block = ai.blockAddr;
+
+    // Train: consecutive blocks under the same PC become neighbours in
+    // the structural space.
+    Trainer &t = trainers_[hashMix(ai.ip) % kTrainers];
+    if (t.valid && t.pcTag == ai.ip && t.lastBlock != block)
+        link(t.lastBlock, block);
+    t.pcTag = ai.ip;
+    t.lastBlock = block;
+    t.valid = true;
+
+    // Predict: prefetch the structural successors.
+    auto it = ps_.find(block);
+    if (it == ps_.end())
+        return;
+    const std::uint64_t s = it->second;
+    for (unsigned d = 1; d <= kDegree; ++d) {
+        if ((s + d) % kRegionSize == 0)
+            break; // stop at the region boundary
+        auto target = sp_.find(s + d);
+        if (target == sp_.end())
+            break;
+        issuePhysical(target->second, ai.ip);
+    }
+}
+
+} // namespace tacsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ISB — Irregular Stream Buffer (Jain & Lin, MICRO'13). A PC-localized
+ * temporal prefetcher: correlated pairs of consecutive physical blocks
+ * (per load PC) are linearized into a structural address space; a hit in
+ * the physical-to-structural map prefetches the next structural
+ * neighbours. Because it replays recorded *physical* sequences, it is
+ * the one prefetcher class that can cover some replay loads — the paper
+ * measures ~20% replay ROB-stall reduction for ISB (§III).
+ */
+
+#ifndef TACSIM_PREFETCH_ISB_HH
+#define TACSIM_PREFETCH_ISB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+class IsbPrefetcher : public Prefetcher
+{
+  public:
+    static constexpr unsigned kRegionSize = 16; ///< structural region
+    static constexpr unsigned kDegree = 3;
+    static constexpr std::size_t kMapCap = 1u << 20;
+    static constexpr std::size_t kTrainers = 64;
+
+    void onAccess(const AccessInfo &ai, bool hit) override;
+    std::string name() const override { return "ISB"; }
+
+    /** Structural address of a physical block, 0 if unmapped (tests). */
+    std::uint64_t
+    structuralOf(Addr blockAddr) const
+    {
+        auto it = ps_.find(blockAddr);
+        return it == ps_.end() ? 0 : it->second;
+    }
+
+  private:
+    struct Trainer
+    {
+        Addr pcTag = 0;
+        Addr lastBlock = 0;
+        bool valid = false;
+    };
+
+    void link(Addr prevBlock, Addr curBlock);
+    void capMaps();
+
+    std::unordered_map<Addr, std::uint64_t> ps_; ///< physical->structural
+    std::unordered_map<std::uint64_t, Addr> sp_; ///< structural->physical
+    std::uint64_t nextStructural_ = kRegionSize;  ///< 0 = unmapped
+    Trainer trainers_[kTrainers];
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_ISB_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Hardware prefetcher interface. A prefetcher is attached to one cache
+ * level; the cache notifies it of demand activity and the prefetcher
+ * issues block prefetches back through its issuer (the cache).
+ *
+ * L1-level prefetchers (IPCP) train on virtual addresses and may cross
+ * page boundaries, but each crossing requires a TLB lookup; the translate
+ * hook models that — it returns the physical address only when the
+ * DTLB/STLB can translate without a walk, reproducing the paper's
+ * observation (§III) that cross-page prefetches stall behind STLB misses
+ * and arrive too late to help replay loads.
+ */
+
+#ifndef TACSIM_PREFETCH_PREFETCHER_HH
+#define TACSIM_PREFETCH_PREFETCHER_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cache/block.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+/** Sink for prefetch requests (implemented by Cache). */
+class PrefetchIssuer
+{
+  public:
+    virtual ~PrefetchIssuer() = default;
+
+    /** Issue a prefetch for the block containing @p paddr. */
+    virtual void issuePrefetch(Addr paddr, PrefetchOrigin origin,
+                               Addr ip) = 0;
+};
+
+class Prefetcher
+{
+  public:
+    /** TLB-only translation: nullopt when the STLB misses. */
+    using TranslateHook =
+        std::function<std::optional<Addr>(Addr vaddr, std::uint16_t cpu)>;
+
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Called by the owning cache on every demand (load/store) access,
+     * after the hit/miss outcome is known. Translation and writeback
+     * traffic is not passed to data prefetchers.
+     */
+    virtual void onAccess(const AccessInfo &ai, bool hit) = 0;
+
+    /** Called when a prefetched block fills (for throttling feedback). */
+    virtual void onPrefetchFill(Addr blockAddr) { (void)blockAddr; }
+
+    virtual std::string name() const = 0;
+
+    void setIssuer(PrefetchIssuer *issuer) { issuer_ = issuer; }
+    void setTranslateHook(TranslateHook h) { translate_ = std::move(h); }
+
+  protected:
+    /** Issue a physical-address prefetch, clamped to the same page as
+     *  @p basePaddr (physical pages are not contiguous). */
+    void
+    issueSamePage(Addr basePaddr, std::int64_t blockDelta, Addr ip)
+    {
+        const Addr target = Addr(std::int64_t(blockAlign(basePaddr)) +
+                                 blockDelta * std::int64_t(kBlockSize));
+        if (issuer_ && pageAlign(target) == pageAlign(basePaddr))
+            issuer_->issuePrefetch(target, PrefetchOrigin::DataPrefetcher,
+                                   ip);
+    }
+
+    /** Issue a prefetch for an exact physical block (temporal
+     *  prefetchers replay recorded physical miss sequences). */
+    void
+    issuePhysical(Addr paddr, Addr ip)
+    {
+        if (issuer_)
+            issuer_->issuePrefetch(paddr, PrefetchOrigin::DataPrefetcher,
+                                   ip);
+    }
+
+    /** Issue a virtual-address prefetch through the TLB hook; silently
+     *  dropped when the STLB cannot translate (late-prefetch model). */
+    bool
+    issueVirtual(Addr vaddr, Addr ip, std::uint16_t cpu)
+    {
+        if (!issuer_ || !translate_)
+            return false;
+        if (auto pa = translate_(vaddr, cpu)) {
+            issuer_->issuePrefetch(*pa, PrefetchOrigin::DataPrefetcher,
+                                   ip);
+            return true;
+        }
+        return false;
+    }
+
+    PrefetchIssuer *issuer_ = nullptr;
+    TranslateHook translate_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_PREFETCHER_HH

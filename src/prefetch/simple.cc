@@ -1,0 +1,43 @@
+#include "prefetch/simple.hh"
+
+#include "common/rng.hh"
+
+namespace tacsim {
+
+void
+IpStridePrefetcher::onAccess(const AccessInfo &ai, bool)
+{
+    Entry &e = table_[hashMix(ai.ip) % kEntries];
+    const Addr block = blockNumber(ai.blockAddr);
+
+    if (!e.valid || e.ip != ai.ip) {
+        e = Entry{};
+        e.ip = ai.ip;
+        e.lastBlock = block;
+        e.valid = true;
+        return;
+    }
+
+    const std::int64_t delta =
+        static_cast<std::int64_t>(block) -
+        static_cast<std::int64_t>(e.lastBlock);
+    if (delta == 0)
+        return;
+
+    if (delta == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = delta;
+        e.confidence = e.confidence ? e.confidence - 1 : 0;
+    }
+    e.lastBlock = block;
+
+    if (e.confidence >= 2) {
+        for (unsigned d = 1; d <= degree_; ++d)
+            issueSamePage(ai.blockAddr,
+                          e.stride * static_cast<std::int64_t>(d), ai.ip);
+    }
+}
+
+} // namespace tacsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simple reference prefetchers: next-line and per-IP stride. Useful as
+ * sanity baselines and in unit tests; the paper's evaluation uses the
+ * heavier SPP/Bingo/IPCP/ISB engines.
+ */
+
+#ifndef TACSIM_PREFETCH_SIMPLE_HH
+#define TACSIM_PREFETCH_SIMPLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+/** Prefetch the next @p degree sequential blocks (same page). */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1) : degree_(degree) {}
+
+    void
+    onAccess(const AccessInfo &ai, bool) override
+    {
+        for (unsigned d = 1; d <= degree_; ++d)
+            issueSamePage(ai.blockAddr, static_cast<std::int64_t>(d),
+                          ai.ip);
+    }
+
+    std::string name() const override { return "next-line"; }
+
+  private:
+    unsigned degree_;
+};
+
+/** Classic per-IP stride detector with 2-bit confidence. */
+class IpStridePrefetcher : public Prefetcher
+{
+  public:
+    static constexpr std::size_t kEntries = 256;
+
+    explicit IpStridePrefetcher(unsigned degree = 2) : degree_(degree) {}
+
+    void onAccess(const AccessInfo &ai, bool hit) override;
+    std::string name() const override { return "ip-stride"; }
+
+  private:
+    struct Entry
+    {
+        Addr ip = 0;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    std::array<Entry, kEntries> table_;
+    unsigned degree_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_SIMPLE_HH

@@ -1,0 +1,106 @@
+#include "prefetch/spp.hh"
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+SppPrefetcher::SigEntry &
+SppPrefetcher::sigEntry(Addr page)
+{
+    return sigTable_[hashMix(page) % kSigTableEntries];
+}
+
+SppPrefetcher::PatternEntry &
+SppPrefetcher::pattern(std::uint32_t sig)
+{
+    return patternTable_[sig % kPatternEntries];
+}
+
+void
+SppPrefetcher::train(std::uint32_t sig, std::int32_t delta)
+{
+    PatternEntry &p = pattern(sig);
+    if (p.cSig == 0xffff) {
+        // Periodically halve to keep ratios meaningful.
+        p.cSig >>= 1;
+        for (auto &c : p.cDelta)
+            c >>= 1;
+    }
+    ++p.cSig;
+    // Find or allocate the delta slot (replace the weakest).
+    unsigned weakest = 0;
+    for (unsigned i = 0; i < kDeltasPerSig; ++i) {
+        if (p.cDelta[i] && p.delta[i] == delta) {
+            ++p.cDelta[i];
+            return;
+        }
+        if (p.cDelta[i] < p.cDelta[weakest])
+            weakest = i;
+    }
+    p.delta[weakest] = delta;
+    p.cDelta[weakest] = 1;
+}
+
+void
+SppPrefetcher::lookahead(Addr pageBase, std::int32_t offset,
+                         std::uint32_t sig, Addr ip)
+{
+    constexpr std::int32_t blocksPerPage =
+        static_cast<std::int32_t>(kPageSize / kBlockSize);
+    double confidence = 1.0;
+    std::int32_t o = offset;
+    std::uint32_t s = sig;
+
+    for (unsigned depth = 0; depth < kMaxLookahead; ++depth) {
+        const PatternEntry &p = pattern(s);
+        if (p.cSig == 0)
+            return;
+        // Best delta by count.
+        unsigned best = 0;
+        for (unsigned i = 1; i < kDeltasPerSig; ++i)
+            if (p.cDelta[i] > p.cDelta[best])
+                best = i;
+        if (p.cDelta[best] == 0)
+            return;
+        confidence *= double(p.cDelta[best]) / double(p.cSig);
+        if (confidence < kPrefetchThreshold)
+            return;
+
+        o += p.delta[best];
+        if (o < 0 || o >= blocksPerPage)
+            return; // SPP does not cross physical pages
+        issueSamePage(pageBase + Addr(o) * kBlockSize, 0, ip);
+        s = updateSignature(s, p.delta[best]);
+    }
+}
+
+void
+SppPrefetcher::onAccess(const AccessInfo &ai, bool)
+{
+    const Addr page = pageNumber(ai.blockAddr);
+    const std::int32_t offset = static_cast<std::int32_t>(
+        (ai.blockAddr & (kPageSize - 1)) >> kBlockBits);
+
+    SigEntry &e = sigEntry(page);
+    std::uint32_t sig = 0;
+    if (e.valid && e.pageTag == page && e.lastOffset >= 0) {
+        const std::int32_t delta = offset - e.lastOffset;
+        if (delta != 0) {
+            train(e.signature, delta);
+            sig = updateSignature(e.signature, delta);
+        } else {
+            sig = e.signature;
+        }
+    } else {
+        e.pageTag = page;
+        e.valid = true;
+        sig = updateSignature(0, offset); // first touch: seed with offset
+    }
+    e.signature = sig;
+    e.lastOffset = offset;
+
+    lookahead(pageAlign(ai.blockAddr), offset, sig, ai.ip);
+}
+
+} // namespace tacsim

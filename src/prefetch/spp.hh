@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SPP — Signature Path Prefetcher (Kim et al., MICRO'16), the
+ * lookahead/path-confidence spatial prefetcher the paper evaluates at the
+ * L2C. Per-page signatures compress recent delta history; a pattern
+ * table maps signatures to candidate deltas with confidences; lookahead
+ * walks the signature path issuing prefetches while the compound
+ * confidence stays above threshold. Operating on physical addresses at
+ * the L2C, it cannot prefetch across page boundaries — which is exactly
+ * why it cannot cover replay loads (paper §III, Fig. 8).
+ */
+
+#ifndef TACSIM_PREFETCH_SPP_HH
+#define TACSIM_PREFETCH_SPP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tacsim {
+
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    static constexpr std::size_t kSigTableEntries = 256;
+    static constexpr std::size_t kPatternEntries = 4096;
+    static constexpr unsigned kDeltasPerSig = 4;
+    static constexpr unsigned kSigBits = 12;
+    static constexpr unsigned kMaxLookahead = 8;
+    static constexpr double kPrefetchThreshold = 0.25;
+
+    void onAccess(const AccessInfo &ai, bool hit) override;
+    std::string name() const override { return "SPP"; }
+
+    /** Signature update function — exposed for tests. */
+    static std::uint32_t
+    updateSignature(std::uint32_t sig, std::int32_t delta)
+    {
+        const std::uint32_t d =
+            static_cast<std::uint32_t>(delta) & 0x7f;
+        return ((sig << 3) ^ d) & ((1u << kSigBits) - 1);
+    }
+
+  private:
+    struct SigEntry
+    {
+        Addr pageTag = 0;
+        std::uint32_t signature = 0;
+        std::int32_t lastOffset = -1;
+        bool valid = false;
+    };
+
+    struct PatternEntry
+    {
+        std::array<std::int32_t, kDeltasPerSig> delta = {};
+        std::array<std::uint16_t, kDeltasPerSig> cDelta = {};
+        std::uint16_t cSig = 0;
+    };
+
+    SigEntry &sigEntry(Addr page);
+    PatternEntry &pattern(std::uint32_t sig);
+    void train(std::uint32_t sig, std::int32_t delta);
+    void lookahead(Addr pageBase, std::int32_t offset, std::uint32_t sig,
+                   Addr ip);
+
+    std::array<SigEntry, kSigTableEntries> sigTable_;
+    std::array<PatternEntry, kPatternEntries> patternTable_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_PREFETCH_SPP_HH

@@ -1,0 +1,30 @@
+#include "sim/config.hh"
+
+namespace tacsim {
+
+void
+applyTranslationAware(SystemConfig &cfg,
+                      const TranslationAwareOptions &opts)
+{
+    if (opts.tDrrip) {
+        cfg.l2Opts.translationRrpv0 = true;
+        cfg.l2Opts.replayEvictFast = true;
+    }
+    if (opts.newSignaturesOnly) {
+        cfg.llcOpts.newSignatures = true;
+    }
+    if (opts.tShip) {
+        cfg.llcOpts.newSignatures = true;
+        cfg.llcOpts.translationRrpv0 = true;
+    }
+    if (opts.atp) {
+        cfg.atpL2 = true;
+        cfg.atpLlc = true;
+    }
+    if (opts.tempo) {
+        cfg.tempo = true;
+        cfg.dram.tempo = true;
+    }
+}
+
+} // namespace tacsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Full-system configuration. Defaults reproduce the paper's Table I
+ * (Intel Sunny-Cove-like): 352-entry ROB 6-issue/4-retire core, 64-entry
+ * DTLB + 2048-entry STLB, PSCL5/4/3/2 of 2/4/8/32 entries, 48KB L1D,
+ * 512KB L2 (DRRIP), 2MB/core LLC (SHiP), one DDR5-6400 channel per four
+ * cores.
+ */
+
+#ifndef TACSIM_SIM_CONFIG_HH
+#define TACSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "cache/repl/policy.hh"
+#include "core/core.hh"
+#include "mem/dram.hh"
+#include "prefetch/factory.hh"
+#include "vm/ptw.hh"
+
+namespace tacsim {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes;
+    std::uint32_t ways;
+    Cycle latency;
+    std::uint32_t mshrs;
+
+    std::uint32_t
+    sets() const
+    {
+        return sizeBytes / (ways * static_cast<std::uint32_t>(kBlockSize));
+    }
+};
+
+struct SystemConfig
+{
+    unsigned numCores = 1;
+    unsigned threadsPerCore = 1; ///< 2 = SMT (shared hierarchy)
+
+    CoreParams core; ///< per-thread ROB is core.robSize / threadsPerCore
+
+    // TLBs (Table I).
+    std::uint32_t dtlbEntries = 64, dtlbWays = 4;
+    Cycle dtlbLatency = 1;
+    std::uint32_t stlbEntries = 2048, stlbWays = 16;
+    Cycle stlbLatency = 8;
+    PageTableWalker::Params ptw;
+
+    // Cache hierarchy (Table I).
+    // MSHR depths are sized for a Sunny-Cove-class core (the L1D's also
+    // carry page-walker traffic): shallow buffers would throttle the
+    // memory-level parallelism a 352-entry ROB exposes.
+    CacheGeometry l1d{48 * 1024, 12, 5, 32};
+    CacheGeometry l2{512 * 1024, 8, 10, 64};
+    CacheGeometry llcPerCore{2 * 1024 * 1024, 16, 20, 128};
+
+    PolicyKind l2Policy = PolicyKind::DRRIP;
+    ReplOpts l2Opts;
+    PolicyKind llcPolicy = PolicyKind::SHiP;
+    ReplOpts llcOpts;
+    bool llcDeadBlock = false; ///< CbPred-style wrapper (§V-B)
+    bool llcCsalt = false;     ///< CSALT-style wrapper (§V-B)
+
+    PrefetcherKind l1Prefetcher = PrefetcherKind::None;
+    PrefetcherKind l2Prefetcher = PrefetcherKind::None;
+
+    // The paper's mechanisms.
+    bool atpL2 = false;
+    bool atpLlc = false;
+    bool tempo = false;
+
+    // Fig. 2 ideal modes.
+    bool idealL2Translations = false;
+    bool idealL2Replays = false;
+    bool idealLlcTranslations = false;
+    bool idealLlcReplays = false;
+
+    // Profiling (Figs. 5/7/18).
+    bool profileCacheRecall = false;
+    bool profileStlbRecall = false;
+
+    DramParams dram;
+
+    std::uint64_t seed = 1;
+
+    unsigned threads() const { return numCores * threadsPerCore; }
+};
+
+/**
+ * The paper's proposal as one switch set: pass to
+ * applyTranslationAware() to layer T-DRRIP / T-SHiP / ATP / TEMPO on a
+ * baseline config. Partial combinations give the paper's incremental
+ * bars (Fig. 14) and ablations (Figs. 10, 12).
+ */
+struct TranslationAwareOptions
+{
+    bool tDrrip = true;  ///< L2C: translations RRPV=0, replays RRPV=3
+    bool tShip = true;   ///< LLC: new signatures + translations RRPV=0
+    bool newSignaturesOnly = false; ///< Fig. 12 middle bar
+    bool atp = true;     ///< translation-hit-triggered replay prefetch
+    bool tempo = false;  ///< DRAM-controller replay prefetch
+};
+
+/** Layer the paper's enhancements onto @p cfg. */
+void applyTranslationAware(SystemConfig &cfg,
+                           const TranslationAwareOptions &opts = {});
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_CONFIG_HH

@@ -1,0 +1,212 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+
+namespace tacsim {
+
+namespace {
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    if (const char *v = std::getenv(name)) {
+        const std::uint64_t parsed = std::strtoull(v, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return fallback;
+}
+
+} // namespace
+
+std::uint64_t
+defaultInstructions()
+{
+    return envOr("TACSIM_INSTRUCTIONS", 400000);
+}
+
+std::uint64_t
+defaultWarmup()
+{
+    return envOr("TACSIM_WARMUP", 100000);
+}
+
+RunResult
+collectResult(System &sys, const std::string &name)
+{
+    RunResult r;
+    r.benchmark = name;
+    r.cycles = sys.measuredCycles();
+    r.instructions = sys.measuredInstructions();
+    r.ipc = r.cycles ? double(r.instructions) / double(r.cycles) : 0.0;
+
+    const double kilo = double(r.instructions) / 1000.0;
+    auto mpki = [kilo](std::uint64_t misses) {
+        return kilo > 0 ? double(misses) / kilo : 0.0;
+    };
+
+    // TLB and stall stats aggregate across cores/threads.
+    std::uint64_t stlbMisses = 0;
+    std::uint64_t walkHistCount = 0;
+    double walkStallSum = 0, replayStallSum = 0, nonReplayStallSum = 0;
+    std::uint64_t nonReplayCount = 0;
+    const std::size_t nCores =
+        sys.config().numCores; // private structures per core
+    // STLB MPKI counts *walks*: concurrent misses on a page whose walk
+    // is already in flight merge in the PTW and are one miss
+    // architecturally.
+    for (std::size_t c = 0; c < nCores; ++c)
+        stlbMisses += sys.ptw(c).stats().walks;
+
+    for (std::size_t t = 0; t < sys.threads(); ++t) {
+        const CoreStats &cs = sys.core(t).stats();
+        r.stallT += cs.stallCyclesT;
+        r.stallR += cs.stallCyclesR;
+        r.stallN += cs.stallCyclesN;
+        walkHistCount += cs.stallPerWalk.count();
+        walkStallSum += cs.stallPerWalk.mean() * cs.stallPerWalk.count();
+        replayStallSum +=
+            cs.stallPerReplay.mean() * cs.stallPerReplay.count();
+        nonReplayCount += cs.stallPerNonReplay.count();
+        nonReplayStallSum +=
+            cs.stallPerNonReplay.mean() * cs.stallPerNonReplay.count();
+        r.maxStallPerWalk =
+            std::max(r.maxStallPerWalk, cs.stallPerWalk.max());
+        r.maxStallPerReplay =
+            std::max(r.maxStallPerReplay, cs.stallPerReplay.max());
+        r.threadCycles.push_back(sys.threadCycles(t));
+        r.threadInstructions.push_back(cs.retired);
+    }
+    r.stlbMpki = mpki(stlbMisses);
+    if (walkHistCount) {
+        r.avgStallPerWalk = walkStallSum / double(walkHistCount);
+        r.avgStallPerReplay = replayStallSum / double(walkHistCount);
+    }
+    if (nonReplayCount)
+        r.avgStallPerNonReplay = nonReplayStallSum / double(nonReplayCount);
+
+    // Cache MPKIs (sum private L2s).
+    std::uint64_t l2Replay = 0, l2NonReplay = 0, l2Ptl1 = 0;
+    for (std::size_t c = 0; c < nCores; ++c) {
+        const CacheStats &s = sys.l2(c).stats();
+        l2Replay += s.at(s.misses, BlockCat::Replay);
+        l2NonReplay += s.at(s.misses, BlockCat::NonReplay);
+        l2Ptl1 += s.at(s.misses, BlockCat::PtLeaf);
+    }
+    r.l2ReplayMpki = mpki(l2Replay);
+    r.l2NonReplayMpki = mpki(l2NonReplay);
+    r.l2Ptl1Mpki = mpki(l2Ptl1);
+
+    const CacheStats &ls = sys.llc().stats();
+    r.llcReplayMpki = mpki(ls.at(ls.misses, BlockCat::Replay));
+    r.llcNonReplayMpki = mpki(ls.at(ls.misses, BlockCat::NonReplay));
+    r.llcPtl1Mpki = mpki(ls.at(ls.misses, BlockCat::PtLeaf));
+
+    // Leaf-translation / replay response distributions.
+    std::uint64_t leafL1 = 0, leafL2 = 0, leafLlc = 0, leafDram = 0,
+                  leafIdeal = 0;
+    for (std::size_t c = 0; c < nCores; ++c) {
+        const PtwStats &ps = sys.ptw(c).stats();
+        leafL1 += ps.leafFromL1D;
+        leafL2 += ps.leafFromL2C;
+        leafLlc += ps.leafFromLLC;
+        leafDram += ps.leafFromDram;
+        leafIdeal += ps.leafFromIdeal;
+    }
+    const double leafTotal =
+        double(leafL1 + leafL2 + leafLlc + leafDram + leafIdeal);
+    if (leafTotal > 0) {
+        r.leafL1D = leafL1 / leafTotal;
+        r.leafL2C = leafL2 / leafTotal;
+        r.leafLLC = leafLlc / leafTotal;
+        r.leafDram = leafDram / leafTotal;
+        r.leafOnChipHitRate = 1.0 - r.leafDram;
+    }
+
+    // Replay response distribution from L1D/L2/LLC hit/miss accounting.
+    std::uint64_t rAcc = 0, rL1Hit = 0, rL2Hit = 0, rLlcHit = 0;
+    for (std::size_t c = 0; c < nCores; ++c) {
+        const CacheStats &a = sys.l1d(c).stats();
+        const CacheStats &b = sys.l2(c).stats();
+        rAcc += a.at(a.accesses, BlockCat::Replay);
+        rL1Hit += a.at(a.hits, BlockCat::Replay);
+        rL2Hit += b.at(b.hits, BlockCat::Replay);
+    }
+    rLlcHit = ls.at(ls.hits, BlockCat::Replay);
+    if (rAcc > 0) {
+        r.replayL1D = double(rL1Hit) / double(rAcc);
+        r.replayL2C = double(rL2Hit) / double(rAcc);
+        r.replayLLC = double(rLlcHit) / double(rAcc);
+        r.replayDram =
+            std::max(0.0, 1.0 - r.replayL1D - r.replayL2C - r.replayLLC);
+    }
+
+    for (std::size_t c = 0; c < nCores; ++c) {
+        r.atpIssued += sys.l2(c).stats().atpIssued;
+    }
+    r.atpIssued += sys.llc().stats().atpIssued;
+    r.atpUseful = sys.llc().stats().atpUseful;
+    for (std::size_t c = 0; c < nCores; ++c)
+        r.atpUseful += sys.l2(c).stats().atpUseful;
+    r.tempoIssued = sys.dram().stats().tempoPrefetches;
+
+    return r;
+}
+
+RunResult
+runBenchmark(const SystemConfig &cfg, Benchmark b,
+             std::uint64_t instructions, std::uint64_t warmup)
+{
+    std::vector<Benchmark> mix(cfg.threads(), b);
+    return runMix(cfg, mix, instructions, warmup);
+}
+
+RunResult
+runMix(const SystemConfig &cfg, const std::vector<Benchmark> &mix,
+       std::uint64_t instructionsPerThread, std::uint64_t warmup)
+{
+    if (instructionsPerThread == 0)
+        instructionsPerThread = defaultInstructions();
+    if (warmup == 0)
+        warmup = defaultWarmup();
+
+    std::vector<std::unique_ptr<Workload>> wls;
+    std::string name;
+    for (std::size_t t = 0; t < mix.size(); ++t) {
+        wls.push_back(makeWorkload(mix[t], cfg.seed + t));
+        if (t)
+            name += "-";
+        name += benchmarkName(mix[t]);
+    }
+
+    System sys(cfg, std::move(wls));
+    sys.warmup(warmup);
+    sys.run(instructionsPerThread);
+    return collectResult(sys, name);
+}
+
+double
+speedup(const RunResult &baseline, const RunResult &enhanced)
+{
+    // Same instruction budget: compare per-instruction execution time.
+    const double base = double(baseline.cycles) /
+        double(std::max<std::uint64_t>(1, baseline.instructions));
+    const double enh = double(enhanced.cycles) /
+        double(std::max<std::uint64_t>(1, enhanced.instructions));
+    return enh > 0 ? base / enh : 0.0;
+}
+
+double
+harmonicSpeedup(const std::vector<double> &soloIpc, const RunResult &mix)
+{
+    double denom = 0;
+    for (std::size_t t = 0; t < soloIpc.size(); ++t) {
+        const double mixIpc = mix.threadIpc(t);
+        if (mixIpc <= 0)
+            return 0.0;
+        denom += soloIpc[t] / mixIpc;
+    }
+    return denom > 0 ? double(soloIpc.size()) / denom : 0.0;
+}
+
+} // namespace tacsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * One-call experiment runner: build a System for a benchmark (or mix),
+ * warm up, measure, and collapse the component statistics into the
+ * metrics the paper reports (IPC, per-class MPKIs, ROB-stall breakdown,
+ * leaf-translation response distribution, prefetch accuracy).
+ *
+ * Instruction budgets default to values that keep every bench binary in
+ * the tens of seconds; override with the TACSIM_INSTRUCTIONS and
+ * TACSIM_WARMUP environment variables for higher-fidelity runs.
+ */
+
+#ifndef TACSIM_SIM_RUNNER_HH
+#define TACSIM_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "workloads/benchmarks.hh"
+
+namespace tacsim {
+
+/** Collapsed metrics of one simulation (single thread unless noted). */
+struct RunResult
+{
+    std::string benchmark;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0;
+
+    double stlbMpki = 0;
+
+    // Per-class MPKIs (Table II metrics).
+    double l2ReplayMpki = 0, l2NonReplayMpki = 0, l2Ptl1Mpki = 0;
+    double llcReplayMpki = 0, llcNonReplayMpki = 0, llcPtl1Mpki = 0;
+
+    // ROB-head stall cycles by cause (Figs. 1/16).
+    std::uint64_t stallT = 0, stallR = 0, stallN = 0;
+    double avgStallPerWalk = 0, avgStallPerReplay = 0,
+           avgStallPerNonReplay = 0;
+    std::uint64_t maxStallPerWalk = 0, maxStallPerReplay = 0;
+
+    // Leaf-translation response distribution (Fig. 3), fractions.
+    double leafL1D = 0, leafL2C = 0, leafLLC = 0, leafDram = 0;
+    // Replay-load response distribution (Fig. 3), fractions.
+    double replayL1D = 0, replayL2C = 0, replayLLC = 0, replayDram = 0;
+
+    // On-chip hit rate for leaf translations (the paper's 99% claim).
+    double leafOnChipHitRate = 0;
+
+    // ATP/TEMPO activity.
+    std::uint64_t atpIssued = 0, atpUseful = 0;
+    std::uint64_t tempoIssued = 0;
+
+    // Per-thread cycles for SMT/multicore speedups.
+    std::vector<std::uint64_t> threadCycles;
+    std::vector<std::uint64_t> threadInstructions;
+
+    /** IPC of thread @p t in this run. */
+    double
+    threadIpc(std::size_t t) const
+    {
+        return threadCycles[t]
+            ? double(threadInstructions[t]) / double(threadCycles[t])
+            : 0.0;
+    }
+};
+
+/** Default measured instructions per thread (env TACSIM_INSTRUCTIONS). */
+std::uint64_t defaultInstructions();
+/** Default warm-up instructions per thread (env TACSIM_WARMUP). */
+std::uint64_t defaultWarmup();
+
+/** Run one benchmark on @p cfg; warmup+measure with the given budgets
+ *  (0 = defaults). */
+RunResult runBenchmark(const SystemConfig &cfg, Benchmark b,
+                       std::uint64_t instructions = 0,
+                       std::uint64_t warmup = 0);
+
+/** Run a multi-thread mix (one benchmark per thread). */
+RunResult runMix(const SystemConfig &cfg,
+                 const std::vector<Benchmark> &mix,
+                 std::uint64_t instructionsPerThread = 0,
+                 std::uint64_t warmup = 0);
+
+/** Extract a RunResult from an already-run system. */
+RunResult collectResult(System &sys, const std::string &name);
+
+/** speedup = baselineCycles / enhancedCycles. */
+double speedup(const RunResult &baseline, const RunResult &enhanced);
+
+/**
+ * Harmonic speedup of a mix versus solo runs (paper Fig. 17):
+ *   H = n / sum_t (IPC_solo_t / IPC_mix_t)
+ */
+double harmonicSpeedup(const std::vector<double> &soloIpc,
+                       const RunResult &mix);
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_RUNNER_HH

@@ -1,0 +1,234 @@
+#include "sim/system.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "cache/repl/csalt.hh"
+#include "cache/repl/deadblock.hh"
+
+namespace tacsim {
+
+std::unique_ptr<ReplPolicy>
+System::buildLlcPolicy(std::uint32_t sets, std::uint32_t ways) const
+{
+    auto base =
+        makePolicy(cfg_.llcPolicy, sets, ways, cfg_.llcOpts, cfg_.seed);
+    if (cfg_.llcDeadBlock)
+        return std::make_unique<DeadBlockPolicy>(sets, ways, cfg_.llcOpts,
+                                                 std::move(base));
+    if (cfg_.llcCsalt)
+        return std::make_unique<CsaltPolicy>(sets, ways, cfg_.llcOpts,
+                                             std::move(base));
+    return base;
+}
+
+System::System(SystemConfig cfg,
+               std::vector<std::unique_ptr<Workload>> workloads)
+    : cfg_(cfg), workloads_(std::move(workloads))
+{
+    const unsigned threads = cfg_.threads();
+    assert(workloads_.size() == threads &&
+           "need one workload per hardware thread");
+
+    // Page tables: one address space per thread.
+    for (unsigned t = 0; t < threads; ++t)
+        pageTables_.push_back(std::make_unique<PageTable>(frames_));
+
+    // DRAM: one channel per four cores (Table I).
+    DramParams dp = cfg_.dram;
+    if (dp.channels == 1 && cfg_.numCores > 4)
+        dp.channels = (cfg_.numCores + 3) / 4;
+    dp.tempo = cfg_.tempo;
+    dram_ = std::make_unique<Dram>("DRAM", eq_, dp);
+
+    // Shared LLC (2MB per core).
+    {
+        CacheParams p;
+        p.name = "LLC";
+        const std::uint32_t size =
+            cfg_.llcPerCore.sizeBytes * cfg_.numCores;
+        p.ways = cfg_.llcPerCore.ways;
+        p.sets = size / (p.ways * static_cast<std::uint32_t>(kBlockSize));
+        p.latency = cfg_.llcPerCore.latency;
+        p.mshrs = cfg_.llcPerCore.mshrs * cfg_.numCores;
+        p.level = RespSource::LLC;
+        p.idealTranslations = cfg_.idealLlcTranslations;
+        p.idealReplays = cfg_.idealLlcReplays;
+        p.atp = cfg_.atpLlc;
+        p.profileRecall = cfg_.profileCacheRecall;
+        llc_ = std::make_unique<Cache>(p, eq_, dram_.get(),
+                                       buildLlcPolicy(p.sets, p.ways));
+    }
+
+    if (cfg_.tempo) {
+        Cache *llc = llc_.get();
+        dram_->setTempoHook([llc](Addr block, Addr ip) {
+            llc->issuePrefetch(block, PrefetchOrigin::Tempo, ip);
+        });
+    }
+
+    // Per-core private hierarchy.
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        const std::string suffix =
+            cfg_.numCores > 1 ? "." + std::to_string(c) : "";
+
+        {
+            CacheParams p;
+            p.name = "L2C" + suffix;
+            p.ways = cfg_.l2.ways;
+            p.sets = cfg_.l2.sets();
+            p.latency = cfg_.l2.latency;
+            p.mshrs = cfg_.l2.mshrs;
+            p.level = RespSource::L2C;
+            p.idealTranslations = cfg_.idealL2Translations;
+            p.idealReplays = cfg_.idealL2Replays;
+            p.atp = cfg_.atpL2;
+            p.profileRecall = cfg_.profileCacheRecall;
+            auto pol = makePolicy(cfg_.l2Policy, p.sets, p.ways,
+                                  cfg_.l2Opts, cfg_.seed + c);
+            auto pf = makePrefetcher(cfg_.l2Prefetcher);
+            l2_.push_back(std::make_unique<Cache>(p, eq_, llc_.get(),
+                                                  std::move(pol),
+                                                  std::move(pf)));
+        }
+
+        dtlb_.push_back(std::make_unique<Tlb>(
+            "DTLB" + suffix, cfg_.dtlbEntries, cfg_.dtlbWays,
+            cfg_.dtlbLatency));
+        stlb_.push_back(std::make_unique<Tlb>(
+            "STLB" + suffix, cfg_.stlbEntries, cfg_.stlbWays,
+            cfg_.stlbLatency, cfg_.profileStlbRecall));
+
+        {
+            CacheParams p;
+            p.name = "L1D" + suffix;
+            p.ways = cfg_.l1d.ways;
+            p.sets = cfg_.l1d.sets();
+            p.latency = cfg_.l1d.latency;
+            p.mshrs = cfg_.l1d.mshrs;
+            p.level = RespSource::L1D;
+            auto pol = makePolicy(PolicyKind::LRU, p.sets, p.ways, {},
+                                  cfg_.seed + c);
+            auto pf = makePrefetcher(cfg_.l1Prefetcher);
+            if (pf) {
+                Tlb *dtlb = dtlb_[c].get();
+                Tlb *stlb = stlb_[c].get();
+                pf->setTranslateHook(
+                    [dtlb, stlb](Addr vaddr,
+                                 std::uint16_t cpu) -> std::optional<Addr> {
+                        const Addr vpn = pageNumber(vaddr);
+                        Addr pfn = 0;
+                        if (dtlb->probe(cpu, vpn, pfn) ||
+                            stlb->probe(cpu, vpn, pfn))
+                            return pfn | (vaddr & (kPageSize - 1));
+                        return std::nullopt;
+                    });
+            }
+            l1d_.push_back(std::make_unique<Cache>(p, eq_, l2_[c].get(),
+                                                   std::move(pol),
+                                                   std::move(pf)));
+        }
+
+        ptw_.push_back(std::make_unique<PageTableWalker>(
+            eq_, l1d_[c].get(), cfg_.ptw));
+        ptw_[c]->setStlb(stlb_[c].get());
+    }
+
+    // Hardware threads.
+    for (unsigned t = 0; t < threads; ++t) {
+        const unsigned c = t / cfg_.threadsPerCore;
+        CoreParams cp = cfg_.core;
+        cp.robSize = cfg_.core.robSize / cfg_.threadsPerCore;
+        cp.cpuId = static_cast<std::uint16_t>(t);
+        cp.asid = static_cast<std::uint16_t>(t);
+        ptw_[c]->addAddressSpace(cp.asid, pageTables_[t].get());
+        cores_.push_back(std::make_unique<Core>(
+            cp, eq_, *workloads_[t], *dtlb_[c], *stlb_[c], *ptw_[c],
+            *l1d_[c]));
+    }
+
+    finishCycle_.assign(threads, 0);
+}
+
+void
+System::run(std::uint64_t instrPerThread)
+{
+    const std::size_t n = cores_.size();
+    std::vector<std::uint64_t> target(n);
+    std::vector<bool> reached(n, false);
+    for (std::size_t t = 0; t < n; ++t)
+        target[t] = cores_[t]->retired() + instrPerThread;
+    runStartCycle_ = cycle_;
+
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        eq_.advanceTo(cycle_);
+
+        bool allBlocked = true;
+        for (std::size_t t = 0; t < n; ++t) {
+            cores_[t]->tick();
+            if (!cores_[t]->blocked())
+                allBlocked = false;
+            if (!reached[t] && cores_[t]->retired() >= target[t]) {
+                reached[t] = true;
+                finishCycle_[t] = cycle_;
+                --remaining;
+            }
+        }
+        if (remaining == 0)
+            break;
+
+        if (allBlocked) {
+            if (eq_.empty())
+                throw std::runtime_error(
+                    "tacsim: deadlock — all cores blocked, no events");
+            const Cycle next = eq_.nextEventCycle();
+            if (next > cycle_ + 1) {
+                const Cycle skip = next - (cycle_ + 1);
+                for (auto &core : cores_)
+                    core->chargeSkippedCycles(skip);
+                cycle_ = next;
+                continue;
+            }
+        }
+        ++cycle_;
+    }
+}
+
+void
+System::warmup(std::uint64_t instr)
+{
+    run(instr);
+    resetStats();
+}
+
+void
+System::resetStats()
+{
+    cycleBase_ = cycle_;
+    for (auto &c : cores_)
+        c->resetStats();
+    for (auto &c : l1d_)
+        c->resetStats();
+    for (auto &c : l2_)
+        c->resetStats();
+    llc_->resetStats();
+    dram_->resetStats();
+    for (auto &t : dtlb_)
+        t->resetStats();
+    for (auto &t : stlb_)
+        t->resetStats();
+    for (auto &p : ptw_)
+        p->resetStats();
+}
+
+std::uint64_t
+System::measuredInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores_)
+        total += c->retired();
+    return total;
+}
+
+} // namespace tacsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Full-system composition: cores (optionally SMT), per-core TLBs and
+ * page-table walkers, private L1D/L2, shared LLC, DRAM, and the run loop
+ * with cycle skipping.
+ *
+ * Threads are numbered 0..threads()-1; thread t runs on core
+ * t / threadsPerCore and owns address space (ASID) t. SMT threads share
+ * their core's DTLB, STLB, walker and L1D; all cores share the LLC and
+ * DRAM. This mirrors the paper's single-core, 2-way SMT and 8-core
+ * evaluations (§V).
+ */
+
+#ifndef TACSIM_SIM_SYSTEM_HH
+#define TACSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/event_queue.hh"
+#include "core/core.hh"
+#include "mem/dram.hh"
+#include "sim/config.hh"
+#include "vm/page_table.hh"
+#include "vm/ptw.hh"
+#include "vm/tlb.hh"
+#include "workloads/benchmarks.hh"
+
+namespace tacsim {
+
+class System
+{
+  public:
+    /** @param workloads one per hardware thread (threads() of them). */
+    System(SystemConfig cfg,
+           std::vector<std::unique_ptr<Workload>> workloads);
+
+    /**
+     * Run until every thread has retired @p instrPerThread more
+     * instructions. Threads that finish early keep running (standard
+     * multi-programmed methodology); per-thread finish cycles are
+     * recorded for weighted/harmonic speedups.
+     */
+    void run(std::uint64_t instrPerThread);
+
+    /** Run @p instr instructions then zero all statistics (warm-up). */
+    void warmup(std::uint64_t instr);
+
+    /** Zero statistics on every component; sets the measurement base. */
+    void resetStats();
+
+    Cycle cycle() const { return cycle_; }
+    /** Cycles elapsed since the last resetStats(). */
+    Cycle measuredCycles() const { return cycle_ - cycleBase_; }
+    /** Cycle at which thread @p t hit its target in the last run(). */
+    Cycle finishCycle(std::size_t t) const { return finishCycle_[t]; }
+    /** Measured cycles for thread @p t in the last run(). */
+    Cycle
+    threadCycles(std::size_t t) const
+    {
+        return finishCycle_[t] - runStartCycle_;
+    }
+
+    std::size_t threads() const { return cores_.size(); }
+    Core &core(std::size_t t) { return *cores_[t]; }
+    const Core &core(std::size_t t) const { return *cores_[t]; }
+    Workload &workload(std::size_t t) { return *workloads_[t]; }
+
+    Cache &l1d(std::size_t coreIdx = 0) { return *l1d_[coreIdx]; }
+    Cache &l2(std::size_t coreIdx = 0) { return *l2_[coreIdx]; }
+    Cache &llc() { return *llc_; }
+    Dram &dram() { return *dram_; }
+    Tlb &dtlb(std::size_t coreIdx = 0) { return *dtlb_[coreIdx]; }
+    Tlb &stlb(std::size_t coreIdx = 0) { return *stlb_[coreIdx]; }
+    PageTableWalker &ptw(std::size_t coreIdx = 0) { return *ptw_[coreIdx]; }
+    PageTable &pageTable(std::size_t t) { return *pageTables_[t]; }
+    EventQueue &eventQueue() { return eq_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Total instructions retired across threads since resetStats(). */
+    std::uint64_t measuredInstructions() const;
+
+  private:
+    std::unique_ptr<ReplPolicy> buildLlcPolicy(std::uint32_t sets,
+                                               std::uint32_t ways) const;
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    Cycle cycle_ = 0;
+    Cycle cycleBase_ = 0;
+    Cycle runStartCycle_ = 0;
+
+    FrameAllocator frames_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+    std::vector<std::unique_ptr<PageTable>> pageTables_;
+
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Tlb>> dtlb_;
+    std::vector<std::unique_ptr<Tlb>> stlb_;
+    std::vector<std::unique_ptr<PageTableWalker>> ptw_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    std::vector<Cycle> finishCycle_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_SYSTEM_HH

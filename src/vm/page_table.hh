@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Five-level radix page table (57-bit virtual addresses, 4KB pages, 8B
+ * PTEs) with a physical frame allocator. This is the simulated OS's view:
+ * tables are built lazily on first touch and live at real (simulated)
+ * physical addresses so that page-table-walker reads travel through the
+ * cache hierarchy like any other access (paper §II-A).
+ */
+
+#ifndef TACSIM_VM_PAGE_TABLE_HH
+#define TACSIM_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+/**
+ * Hands out 4KB physical frames. Shared by all address spaces in a
+ * system so frames never collide. Frames are assigned sequentially in
+ * first-touch order, which is what a first-touch OS allocator produces.
+ */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(Addr base = kPageSize) : next_(base) {}
+
+    /** Allocate one frame; returns its physical base address. */
+    Addr
+    alloc()
+    {
+        Addr f = next_;
+        next_ += kPageSize;
+        return f;
+    }
+
+    /** Total bytes of physical memory handed out. */
+    Addr allocated() const { return next_; }
+
+  private:
+    Addr next_;
+};
+
+/**
+ * One address space's page table. walk() returns the PTE physical
+ * address at every level plus the final data physical address, which is
+ * exactly what the page-table walker needs to generate its accesses.
+ */
+class PageTable
+{
+  public:
+    /** Result of walking one virtual address. */
+    struct WalkResult
+    {
+        /** pteAddr[l-1] = physical address of the level-l PTE
+         *  (l = 1 leaf ... kPtLevels root). */
+        std::array<Addr, kPtLevels> pteAddr;
+        /** tableFrame[l-1] = physical base of the level-l table page. */
+        std::array<Addr, kPtLevels> tableFrame;
+        Addr dataPaddr = 0; ///< translated physical address
+    };
+
+    explicit PageTable(FrameAllocator &alloc)
+        : alloc_(&alloc), root_(std::make_unique<Node>(alloc.alloc()))
+    {}
+
+    /**
+     * Walk (and on first touch, build) the translation for @p vaddr.
+     * Deterministic: the same touch order yields the same frames.
+     */
+    WalkResult
+    walk(Addr vaddr)
+    {
+        WalkResult r;
+        Node *node = root_.get();
+        for (unsigned level = kPtLevels; level >= 2; --level) {
+            const unsigned idx = ptIndex(vaddr, level);
+            r.tableFrame[level - 1] = node->frame;
+            r.pteAddr[level - 1] = node->frame + idx * kPteSize;
+            if (!node->children[idx])
+                node->children[idx] = std::make_unique<Node>(alloc_->alloc());
+            node = node->children[idx].get();
+        }
+        const unsigned idx = ptIndex(vaddr, 1);
+        r.tableFrame[0] = node->frame;
+        r.pteAddr[0] = node->frame + idx * kPteSize;
+        if (node->leafPfn[idx] == 0)
+            node->leafPfn[idx] = alloc_->alloc();
+        r.dataPaddr = node->leafPfn[idx] | (vaddr & (kPageSize - 1));
+        return r;
+    }
+
+    /** Translate without exposing walk internals. */
+    Addr translate(Addr vaddr) { return walk(vaddr).dataPaddr; }
+
+    /** Number of page-table pages built so far (all levels). */
+    std::uint64_t tablePages() const { return countNodes(root_.get()); }
+
+    /** Physical base of the root (CR3 analogue). */
+    Addr rootFrame() const { return root_->frame; }
+
+  private:
+    struct Node
+    {
+        explicit Node(Addr f) : frame(f), leafPfn(kPtEntries, 0)
+        {
+            children.resize(kPtEntries);
+        }
+
+        Addr frame;
+        std::vector<std::unique_ptr<Node>> children;
+        std::vector<Addr> leafPfn; ///< used only by level-1 tables
+    };
+
+    static std::uint64_t
+    countNodes(const Node *n)
+    {
+        std::uint64_t c = 1;
+        for (const auto &ch : n->children)
+            if (ch)
+                c += countNodes(ch.get());
+        return c;
+    }
+
+    FrameAllocator *alloc_;
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_VM_PAGE_TABLE_HH

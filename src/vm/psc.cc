@@ -1,0 +1,72 @@
+#include "vm/psc.hh"
+
+namespace tacsim {
+
+PagingStructureCaches::PagingStructureCaches(
+    std::array<std::uint32_t, 4> sizes, Cycle latency)
+    : latency_(latency)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        caches_[i].resize(sizes[i]);
+}
+
+unsigned
+PagingStructureCaches::lookup(std::uint16_t asid, Addr vaddr,
+                              Addr &nextTableFrame)
+{
+    ++stats_.lookups;
+    // Deepest level first: PSCL2 hit means only the leaf remains.
+    for (unsigned level = 2; level <= kPtLevels; ++level) {
+        auto &cache = caches_[level - 2];
+        const std::uint64_t tag = tagOf(asid, vaddr, level);
+        for (auto &e : cache) {
+            if (e.valid && e.tag == tag) {
+                e.lru = clock_++;
+                nextTableFrame = e.frame;
+                ++stats_.hitsAtLevel[level - 1];
+                return level - 1;
+            }
+        }
+    }
+    ++stats_.fullMisses;
+    nextTableFrame = 0;
+    return kPtLevels;
+}
+
+void
+PagingStructureCaches::fill(std::uint16_t asid, Addr vaddr, unsigned level,
+                            Addr childTableFrame)
+{
+    if (level < 2 || level > kPtLevels)
+        return;
+    auto &cache = caches_[level - 2];
+    const std::uint64_t tag = tagOf(asid, vaddr, level);
+    Entry *victim = &cache[0];
+    for (auto &e : cache) {
+        if (e.valid && e.tag == tag) {
+            e.frame = childTableFrame;
+            e.lru = clock_++;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->frame = childTableFrame;
+    victim->lru = clock_++;
+}
+
+void
+PagingStructureCaches::flush()
+{
+    for (auto &c : caches_)
+        for (auto &e : c)
+            e.valid = false;
+}
+
+} // namespace tacsim

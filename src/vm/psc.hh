@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Paging-structure caches (PSCs). PSCL_l caches level-l PTEs: given the
+ * virtual-address bits that index levels kPtLevels..l, it returns the
+ * physical frame of the level-(l-1) table, letting the walker skip the
+ * upper levels. Four PSCs exist for a five-level table (PSCL5..PSCL2);
+ * they are searched in parallel in one cycle, and the deepest hit wins
+ * (paper §II-A, Table I: 2/4/8/32 entries).
+ */
+
+#ifndef TACSIM_VM_PSC_HH
+#define TACSIM_VM_PSC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+struct PscStats
+{
+    /** hitsAtLevel[l-1]: lookups resolved by PSCL_l (l in 2..5). */
+    std::array<std::uint64_t, kPtLevels + 1> hitsAtLevel = {};
+    std::uint64_t lookups = 0;
+    std::uint64_t fullMisses = 0;
+
+    void reset() { *this = PscStats{}; }
+};
+
+/** The four PSCs of one walker, fully associative, LRU. */
+class PagingStructureCaches
+{
+  public:
+    /** Entry counts for PSCL2..PSCL5 (index 0 -> PSCL2). */
+    explicit PagingStructureCaches(std::array<std::uint32_t, 4> sizes =
+                                       {32, 8, 4, 2},
+                                   Cycle latency = 1);
+
+    /**
+     * Find the deepest cached level for (asid, vaddr).
+     *
+     * @param nextTableFrame out: frame of the level-(startLevel) table to
+     *        read first.
+     * @return the level the walk should *start* at (1..kPtLevels). A
+     *         return of kPtLevels means full walk from the root; a return
+     *         of 1 means only the leaf PTE must be read (PSCL2 hit).
+     */
+    unsigned lookup(std::uint16_t asid, Addr vaddr, Addr &nextTableFrame);
+
+    /**
+     * Fill PSCL_l with the level-l entry: tag = VA bits for levels >= l,
+     * payload = frame of the level-(l-1) table.
+     */
+    void fill(std::uint16_t asid, Addr vaddr, unsigned level,
+              Addr childTableFrame);
+
+    Cycle latency() const { return latency_; }
+    const PscStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+    void flush();
+
+    /** Tag for (asid, vaddr) at @p level — exposed for tests. */
+    static std::uint64_t
+    tagOf(std::uint16_t asid, Addr vaddr, unsigned level)
+    {
+        const Addr vpnBits =
+            vaddr >> (kPageBits + (level - 1) * kPtIndexBits);
+        return (static_cast<std::uint64_t>(asid) << 48) ^ vpnBits;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        Addr frame = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    /** caches_[l-2] holds PSCL_l. */
+    std::array<std::vector<Entry>, 4> caches_;
+    Cycle latency_;
+    std::uint64_t clock_ = 1;
+    PscStats stats_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_VM_PSC_HH

@@ -1,0 +1,146 @@
+#include "vm/ptw.hh"
+
+#include <cassert>
+
+namespace tacsim {
+
+PageTableWalker::PageTableWalker(EventQueue &eq, MemDevice *port, Params p)
+    : eq_(eq), port_(port), params_(p),
+      pscs_(p.pscSizes, p.pscLatency)
+{}
+
+void
+PageTableWalker::addAddressSpace(std::uint16_t asid, PageTable *pt)
+{
+    spaces_[asid] = pt;
+}
+
+void
+PageTableWalker::resetStats()
+{
+    stats_.reset();
+    pscs_.resetStats();
+}
+
+void
+PageTableWalker::walk(std::uint16_t asid, Addr vaddr, Addr ip,
+                      std::uint16_t cpu, WalkCallback cb)
+{
+    const std::uint64_t key = keyOf(asid, vaddr);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+        ++stats_.merged;
+        it->second->callbacks.push_back(std::move(cb));
+        return;
+    }
+
+    auto ws = std::make_unique<WalkState>();
+    ws->asid = asid;
+    ws->vaddr = vaddr;
+    ws->ip = ip;
+    ws->cpu = cpu;
+    ws->callbacks.push_back(std::move(cb));
+
+    if (active_ >= params_.maxConcurrentWalks) {
+        ++stats_.queued;
+        queue_.push_back(std::move(ws));
+        return;
+    }
+    startWalk(std::move(ws));
+}
+
+void
+PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
+{
+    ++stats_.walks;
+    ++active_;
+
+    PageTable *pt = spaces_.at(ws->asid);
+    ws->info = pt->walk(ws->vaddr);
+    ws->startedAt = eq_.now();
+
+    Addr skipFrame = 0;
+    ws->startLevel = pscs_.lookup(ws->asid, ws->vaddr, skipFrame);
+
+    std::shared_ptr<WalkState> shared(std::move(ws));
+    inflight_[keyOf(shared->asid, shared->vaddr)] = shared;
+
+    // PSC search costs one cycle, then the first level read issues.
+    const unsigned level = shared->startLevel;
+    eq_.schedule(pscs_.latency(),
+                 [this, shared, level] { issueLevel(shared, level); });
+}
+
+void
+PageTableWalker::issueLevel(std::shared_ptr<WalkState> ws, unsigned level)
+{
+    assert(level >= 1 && level <= kPtLevels);
+    ++stats_.levelReads[level - 1];
+
+    auto req = std::make_shared<MemRequest>();
+    req->paddr = ws->info.pteAddr[level - 1];
+    req->vaddr = ws->vaddr;
+    req->ip = ws->ip;
+    req->type = ReqType::Translation;
+    req->ptLevel = static_cast<std::uint8_t>(level);
+    req->cpu = ws->cpu;
+    req->issuedAt = eq_.now();
+    if (level == 1) {
+        // IsLeafLevel + upper page-offset bits: tell the hierarchy which
+        // data line the replay load will need, enabling ATP and TEMPO.
+        req->replayBlockPaddr = blockAlign(ws->info.dataPaddr);
+    }
+
+    req->onComplete = [this, ws, level](MemRequest &resp) {
+        if (level > 1) {
+            issueLevel(ws, level - 1);
+        } else {
+            finishWalk(ws, resp.source);
+        }
+    };
+    port_->access(req);
+}
+
+void
+PageTableWalker::finishWalk(const std::shared_ptr<WalkState> &ws,
+                            RespSource leafSource)
+{
+    switch (leafSource) {
+      case RespSource::L1D: ++stats_.leafFromL1D; break;
+      case RespSource::L2C: ++stats_.leafFromL2C; break;
+      case RespSource::LLC: ++stats_.leafFromLLC; break;
+      case RespSource::DRAM: ++stats_.leafFromDram; break;
+      default: ++stats_.leafFromIdeal; break;
+    }
+    stats_.walkLatency.add(eq_.now() - ws->startedAt);
+
+    // Fill the PSCs for every level we walked: PSCL_l learns the frame of
+    // the level-(l-1) table.
+    for (unsigned level = ws->startLevel; level >= 2; --level)
+        pscs_.fill(ws->asid, ws->vaddr, level,
+                   ws->info.tableFrame[level - 2]);
+
+    if (stlb_)
+        stlb_->fill(ws->asid, pageNumber(ws->vaddr),
+                    pageAlign(ws->info.dataPaddr));
+
+    inflight_.erase(keyOf(ws->asid, ws->vaddr));
+    --active_;
+
+    for (auto &cb : ws->callbacks)
+        cb(ws->info.dataPaddr, leafSource);
+
+    drainQueue();
+}
+
+void
+PageTableWalker::drainQueue()
+{
+    while (!queue_.empty() && active_ < params_.maxConcurrentWalks) {
+        auto ws = std::move(queue_.front());
+        queue_.pop_front();
+        startWalk(std::move(ws));
+    }
+}
+
+} // namespace tacsim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Hardware page-table walker. On an STLB miss the walker probes the PSCs
+ * (one cycle, parallel search), then reads the remaining page-table
+ * levels serially through the data cache hierarchy — each read is a
+ * Translation request tagged with its level, so caches can apply the
+ * paper's translation-conscious policies and trigger ATP on leaf hits.
+ *
+ * The walker carries the IsLeafLevel flag and the upper six bits of the
+ * page offset so a leaf hit knows which data line the pending demand load
+ * needs (paper §IV) — in the model this is replayBlockPaddr.
+ *
+ * Walks to the same (asid, VPN) merge; a bounded number of walks may be
+ * in flight, the rest queue.
+ */
+
+#ifndef TACSIM_VM_PTW_HH
+#define TACSIM_VM_PTW_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "vm/page_table.hh"
+#include "vm/psc.hh"
+#include "vm/tlb.hh"
+
+namespace tacsim {
+
+struct PtwStats
+{
+    std::uint64_t walks = 0;
+    std::uint64_t merged = 0;
+    std::uint64_t queued = 0;
+    /** Memory accesses issued per page-table level (index level-1). */
+    std::array<std::uint64_t, kPtLevels> levelReads = {};
+    /** Where the *leaf* PTE read was serviced. */
+    std::uint64_t leafFromL1D = 0;
+    std::uint64_t leafFromL2C = 0;
+    std::uint64_t leafFromLLC = 0;
+    std::uint64_t leafFromDram = 0;
+    std::uint64_t leafFromIdeal = 0;
+    Histogram walkLatency{std::vector<std::uint64_t>{20, 50, 100, 200,
+                                                     500}};
+
+    void reset() { *this = PtwStats{}; }
+};
+
+/** Walker configuration. */
+struct PtwParams
+{
+    unsigned maxConcurrentWalks = 4;
+    std::array<std::uint32_t, 4> pscSizes = {32, 8, 4, 2};
+    Cycle pscLatency = 1;
+};
+
+class PageTableWalker
+{
+  public:
+    /** Called when translation finishes. */
+    using WalkCallback =
+        std::function<void(Addr dataPaddr, RespSource leafSource)>;
+
+    using Params = PtwParams;
+
+    PageTableWalker(EventQueue &eq, MemDevice *port, Params p = Params{});
+
+    /** Register the page table serving @p asid. */
+    void addAddressSpace(std::uint16_t asid, PageTable *pt);
+
+    /** STLB this walker fills on completion (may be null). */
+    void setStlb(Tlb *stlb) { stlb_ = stlb; }
+
+    /**
+     * Start (or merge into) a walk for @p vaddr.
+     * @param ip instruction pointer of the triggering demand access
+     * @param cpu hardware context id
+     * @param cb invoked when the leaf PTE has been read
+     */
+    void walk(std::uint16_t asid, Addr vaddr, Addr ip, std::uint16_t cpu,
+              WalkCallback cb);
+
+    const PtwStats &stats() const { return stats_; }
+    void resetStats();
+    const PscStats &pscStats() const { return pscs_.stats(); }
+    PagingStructureCaches &pscs() { return pscs_; }
+
+    unsigned activeWalks() const { return active_; }
+
+  private:
+    struct WalkState
+    {
+        std::uint16_t asid;
+        Addr vaddr;
+        Addr ip;
+        std::uint16_t cpu;
+        PageTable::WalkResult info;
+        unsigned startLevel; ///< first level actually read
+        Cycle startedAt;
+        std::vector<WalkCallback> callbacks;
+    };
+
+    std::uint64_t keyOf(std::uint16_t asid, Addr vaddr) const
+    {
+        return (static_cast<std::uint64_t>(asid) << 48) ^ pageNumber(vaddr);
+    }
+
+    void startWalk(std::unique_ptr<WalkState> ws);
+    void issueLevel(std::shared_ptr<WalkState> ws, unsigned level);
+    void finishWalk(const std::shared_ptr<WalkState> &ws,
+                    RespSource leafSource);
+    void drainQueue();
+
+    EventQueue &eq_;
+    MemDevice *port_;
+    Params params_;
+    PagingStructureCaches pscs_;
+    Tlb *stlb_ = nullptr;
+
+    std::unordered_map<std::uint16_t, PageTable *> spaces_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<WalkState>> inflight_;
+    std::deque<std::unique_ptr<WalkState>> queue_;
+    unsigned active_ = 0;
+    PtwStats stats_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_VM_PTW_HH

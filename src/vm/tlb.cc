@@ -1,0 +1,101 @@
+#include "vm/tlb.hh"
+
+#include <cassert>
+
+namespace tacsim {
+
+Tlb::Tlb(std::string name, std::uint32_t entries, std::uint32_t ways,
+         Cycle latency, bool profileRecall)
+    : name_(std::move(name)),
+      sets_(entries / ways),
+      ways_(ways),
+      latency_(latency),
+      entries_(static_cast<std::size_t>(entries))
+{
+    assert(entries % ways == 0);
+    assert((sets_ & (sets_ - 1)) == 0 && "TLB sets must be a power of two");
+    if (profileRecall)
+        profiler_ = std::make_unique<RecallProfiler>(sets_, 1);
+}
+
+bool
+Tlb::lookup(std::uint16_t asid, Addr vpn, Addr &pfn)
+{
+    ++stats_.accesses;
+    const std::uint64_t key = keyOf(asid, vpn);
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(vpn)) * ways_;
+    if (profiler_)
+        profiler_->onAccess(setOf(vpn), key, BlockCat::PtLeaf);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.key == key) {
+            e.lru = clock_++;
+            pfn = e.pfn;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+Tlb::probe(std::uint16_t asid, Addr vpn, Addr &pfn) const
+{
+    const std::uint64_t key = keyOf(asid, vpn);
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(vpn)) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.key == key) {
+            pfn = e.pfn;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::fill(std::uint16_t asid, Addr vpn, Addr pfn)
+{
+    const std::uint64_t key = keyOf(asid, vpn);
+    const std::uint32_t set = setOf(vpn);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    Entry *victim = &entries_[base];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.key == key) {
+            e.pfn = pfn; // refresh in place
+            e.lru = clock_++;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    if (victim->valid && profiler_)
+        profiler_->onEvict(set, victim->key, BlockCat::PtLeaf);
+    victim->valid = true;
+    victim->key = key;
+    victim->pfn = pfn;
+    victim->lru = clock_++;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+void
+Tlb::resetStats()
+{
+    stats_.reset();
+}
+
+} // namespace tacsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative TLB (used for DTLB, ITLB and the unified STLB) with LRU
+ * replacement, plus an optional recall-distance profiler for the paper's
+ * Fig. 18.
+ *
+ * Lookups are functional; the owning core/walker charges the latency.
+ * Entries are keyed by (ASID, VPN) so SMT threads and multi-core
+ * workloads can share a structure without aliasing.
+ */
+
+#ifndef TACSIM_VM_TLB_HH
+#define TACSIM_VM_TLB_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/recall_profiler.hh"
+#include "common/types.hh"
+
+namespace tacsim {
+
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    void reset() { *this = TlbStats{}; }
+};
+
+class Tlb
+{
+  public:
+    /**
+     * @param entries total entries (must be ways * power-of-two sets)
+     * @param ways associativity
+     * @param latency lookup latency in cycles (charged by the caller)
+     */
+    Tlb(std::string name, std::uint32_t entries, std::uint32_t ways,
+        Cycle latency, bool profileRecall = false);
+
+    /**
+     * Look up (asid, vpn). On a hit, writes the PFN (page-aligned
+     * physical address) to @p pfn and refreshes LRU.
+     */
+    bool lookup(std::uint16_t asid, Addr vpn, Addr &pfn);
+
+    /** Probe without updating LRU or stats (for prefetcher hooks). */
+    bool probe(std::uint16_t asid, Addr vpn, Addr &pfn) const;
+
+    /** Install a translation (evicting LRU within the set). */
+    void fill(std::uint16_t asid, Addr vpn, Addr pfn);
+
+    /** Drop everything (context-switch style). */
+    void flush();
+
+    Cycle latency() const { return latency_; }
+    const TlbStats &stats() const { return stats_; }
+    void resetStats();
+    const std::string &name() const { return name_; }
+    std::uint32_t entries() const { return sets_ * ways_; }
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    const RecallProfiler *recallProfiler() const { return profiler_.get(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0; ///< (asid << 52) | vpn, +1 bias for valid
+        Addr pfn = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    static std::uint64_t
+    keyOf(std::uint16_t asid, Addr vpn)
+    {
+        return (static_cast<std::uint64_t>(asid) << 52) | vpn;
+    }
+
+    std::uint32_t setOf(Addr vpn) const
+    {
+        return static_cast<std::uint32_t>(vpn & (sets_ - 1));
+    }
+
+    std::string name_;
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    Cycle latency_;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 1;
+    TlbStats stats_;
+    std::unique_ptr<RecallProfiler> profiler_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_VM_TLB_HH

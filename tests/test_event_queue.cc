@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, tie-breaking,
+ * advanceTo semantics and re-entrancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+
+namespace tacsim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextEventCycle(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.advanceTo(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, SameCycleEventsFireInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.advanceTo(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, AdvanceToStopsAtTarget)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.advanceTo(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.nextEventCycle(), 20u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEventsWithinWindow)
+{
+    EventQueue eq;
+    std::vector<Cycle> times;
+    eq.schedule(5, [&] {
+        times.push_back(eq.now());
+        eq.schedule(5, [&] { times.push_back(eq.now()); });
+    });
+    eq.advanceTo(20);
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 5u);
+    EXPECT_EQ(times[1], 10u);
+}
+
+TEST(EventQueue, ChainedEventBeyondWindowIsDeferred)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { eq.schedule(100, [&] { ++fired; }); });
+    eq.advanceTo(50);
+    EXPECT_EQ(fired, 0);
+    eq.advanceTo(105);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ScheduleAtInPastClampsToNow)
+{
+    EventQueue eq;
+    eq.advanceTo(100);
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    EXPECT_EQ(eq.nextEventCycle(), 100u);
+    eq.advanceTo(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepRunsExactlyOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ResetDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    eq.advanceTo(100);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, SizeTracksPendingEvents)
+{
+    EventQueue eq;
+    for (int i = 1; i <= 5; ++i)
+        eq.schedule(static_cast<Cycle>(i), [] {});
+    EXPECT_EQ(eq.size(), 5u);
+    eq.advanceTo(3);
+    EXPECT_EQ(eq.size(), 2u);
+}
+
+} // namespace
+} // namespace tacsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * End-to-end invariant sweep, parameterized over every benchmark and
+ * the three headline configurations (baseline, T-policies, full
+ * scheme): structural properties that must hold for any correct
+ * composition of the simulator, regardless of workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace tacsim {
+namespace {
+
+enum class Config
+{
+    Baseline,
+    TPolicies,
+    FullScheme,
+};
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Baseline: return "baseline";
+      case Config::TPolicies: return "Tpolicies";
+      case Config::FullScheme: return "full";
+    }
+    return "?";
+}
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<Benchmark, Config>>
+{};
+
+TEST_P(InvariantSweep, EndToEndInvariantsHold)
+{
+    const auto [bench, variant] = GetParam();
+    SystemConfig cfg;
+    if (variant == Config::TPolicies)
+        applyTranslationAware(cfg, {true, true, false, false, false});
+    else if (variant == Config::FullScheme)
+        applyTranslationAware(cfg, {true, true, false, true, true});
+
+    std::vector<std::unique_ptr<Workload>> w;
+    w.push_back(makeWorkload(bench, cfg.seed));
+    System sys(cfg, std::move(w));
+    sys.warmup(20000);
+    sys.run(80000);
+    RunResult r = collectResult(sys, benchmarkName(bench));
+
+    // 1. Forward progress with sane IPC.
+    EXPECT_GE(r.instructions, 80000u);
+    EXPECT_GT(r.ipc, 0.01);
+    EXPECT_LE(r.ipc, 6.0);
+
+    // 2. Per-class access accounting at every level.
+    for (Cache *c : {&sys.l1d(), &sys.l2(), &sys.llc()}) {
+        const CacheStats &s = c->stats();
+        for (std::size_t cat = 0; cat < kNumBlockCats; ++cat)
+            ASSERT_EQ(s.accesses[cat], s.hits[cat] + s.misses[cat])
+                << c->name();
+    }
+
+    // 3. Replay identification: replay accesses at L1D cannot exceed
+    // total STLB-missing demand accesses.
+    const CacheStats &l1 = sys.l1d().stats();
+    EXPECT_LE(l1.at(l1.accesses, BlockCat::Replay),
+              sys.core(0).stats().stlbMissAccesses + 64);
+
+    // 4. Walk counts: every leaf read belongs to a walk; upper levels
+    // are read at most once per walk. Walks in flight across the
+    // stats-reset or run boundary can skew counts by the walker's
+    // concurrency, hence the small tolerance.
+    const PtwStats &ps = sys.ptw().stats();
+    const unsigned slack = cfg.ptw.maxConcurrentWalks;
+    EXPECT_LE(ps.levelReads[0], ps.walks + slack);
+    EXPECT_GE(ps.levelReads[0] + slack, ps.walks);
+    for (unsigned l = 1; l < kPtLevels; ++l)
+        EXPECT_LE(ps.levelReads[l], ps.walks + slack);
+
+    // 5. Stall accounting: attributed head stalls cannot exceed cycles.
+    const CoreStats &cs = sys.core(0).stats();
+    EXPECT_LE(cs.stallCyclesT + cs.stallCyclesR + cs.stallCyclesN,
+              sys.measuredCycles());
+
+    // 6. Response fractions form a distribution.
+    if (ps.walks > 100) {
+        EXPECT_NEAR(r.leafL1D + r.leafL2C + r.leafLLC + r.leafDram, 1.0,
+                    0.05);
+    }
+
+    // 7. DRAM conservation: row hits + misses + conflicts == reads +
+    // writes.
+    const DramStats &ds = sys.dram().stats();
+    EXPECT_EQ(ds.rowHits + ds.rowMisses + ds.rowConflicts,
+              ds.reads + ds.writes);
+
+    // 8. Scheme-specific: ATP only fires when enabled.
+    const auto atp =
+        sys.l2().stats().atpIssued + sys.llc().stats().atpIssued;
+    if (variant != Config::FullScheme) {
+        EXPECT_EQ(atp, 0u);
+        EXPECT_EQ(sys.dram().stats().tempoPrefetches, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllConfigs, InvariantSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllBenchmarks),
+                       ::testing::Values(Config::Baseline,
+                                         Config::TPolicies,
+                                         Config::FullScheme)),
+    [](const auto &info) {
+        return benchmarkName(std::get<0>(info.param)) + "_" +
+            configName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace tacsim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the frame allocator and the five-level radix page
+ * table: PTE address arithmetic, lazy construction, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/page_table.hh"
+
+namespace tacsim {
+namespace {
+
+TEST(FrameAllocator, SequentialPageAlignedFrames)
+{
+    FrameAllocator fa;
+    const Addr f1 = fa.alloc();
+    const Addr f2 = fa.alloc();
+    EXPECT_EQ(f1 % kPageSize, 0u);
+    EXPECT_EQ(f2, f1 + kPageSize);
+}
+
+TEST(PageTable, TranslationPreservesPageOffset)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const Addr va = (Addr{0x5} << 30) | 0xabc;
+    const Addr pa = pt.translate(va);
+    EXPECT_EQ(pa & (kPageSize - 1), 0xabcu);
+}
+
+TEST(PageTable, SamePageTranslatesConsistently)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const Addr va = Addr{0x1234} << 12;
+    const Addr pa1 = pt.translate(va + 0x10);
+    const Addr pa2 = pt.translate(va + 0x800);
+    EXPECT_EQ(pageAlign(pa1), pageAlign(pa2));
+}
+
+TEST(PageTable, DistinctPagesGetDistinctFrames)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    std::set<Addr> frames;
+    for (Addr p = 0; p < 64; ++p)
+        frames.insert(pageAlign(pt.translate(p << 12)));
+    EXPECT_EQ(frames.size(), 64u);
+}
+
+TEST(PageTable, WalkExposesAllFiveLevels)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const Addr va = (Addr{0x3} << 48) | (Addr{0x7} << 39) |
+        (Addr{0x1f} << 30) | (Addr{0xff} << 21) | (Addr{0x1aa} << 12);
+    const auto r = pt.walk(va);
+
+    // Root frame matches CR3; PTE addresses sit at index*8 within each
+    // level's table page.
+    EXPECT_EQ(r.tableFrame[kPtLevels - 1], pt.rootFrame());
+    for (unsigned level = 1; level <= kPtLevels; ++level) {
+        const Addr pte = r.pteAddr[level - 1];
+        EXPECT_EQ(pageAlign(pte), r.tableFrame[level - 1]);
+        EXPECT_EQ((pte - r.tableFrame[level - 1]) / kPteSize,
+                  ptIndex(va, level));
+    }
+}
+
+TEST(PageTable, SharedPrefixSharesUpperTables)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    // Two pages in the same 2MB region share all levels but the leaf
+    // index.
+    const Addr va1 = Addr{0x40000000};
+    const Addr va2 = va1 + kPageSize;
+    const auto r1 = pt.walk(va1);
+    const auto r2 = pt.walk(va2);
+    for (unsigned level = 2; level <= kPtLevels; ++level)
+        EXPECT_EQ(r1.tableFrame[level - 1], r2.tableFrame[level - 1]);
+    EXPECT_NE(r1.pteAddr[0], r2.pteAddr[0]);
+}
+
+TEST(PageTable, DistantAddressesDivergeEarly)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const auto r1 = pt.walk(Addr{1} << 48);
+    const auto r2 = pt.walk(Addr{2} << 48);
+    EXPECT_EQ(r1.tableFrame[kPtLevels - 1],
+              r2.tableFrame[kPtLevels - 1]); // same root
+    EXPECT_NE(r1.tableFrame[kPtLevels - 2],
+              r2.tableFrame[kPtLevels - 2]); // different level-4 tables
+}
+
+TEST(PageTable, WalkIsIdempotent)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const Addr va = Addr{0xdeadb000};
+    const auto r1 = pt.walk(va);
+    const auto r2 = pt.walk(va);
+    EXPECT_EQ(r1.dataPaddr, r2.dataPaddr);
+    for (unsigned l = 0; l < kPtLevels; ++l)
+        EXPECT_EQ(r1.pteAddr[l], r2.pteAddr[l]);
+}
+
+TEST(PageTable, TablePagesGrowLazily)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const auto initial = pt.tablePages();
+    EXPECT_EQ(initial, 1u); // root only
+    pt.translate(0x1000);
+    const auto afterOne = pt.tablePages();
+    EXPECT_EQ(afterOne, kPtLevels); // one chain of tables
+    pt.translate(0x2000); // same leaf table
+    EXPECT_EQ(pt.tablePages(), afterOne);
+}
+
+TEST(PageTable, SeparateAddressSpacesDoNotCollide)
+{
+    FrameAllocator fa;
+    PageTable a(fa), b(fa);
+    const Addr va = 0x7000;
+    EXPECT_NE(pageAlign(a.translate(va)), pageAlign(b.translate(va)));
+}
+
+} // namespace
+} // namespace tacsim

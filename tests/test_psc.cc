@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the paging-structure caches: deepest-hit-wins lookup,
+ * per-level fills, capacity/LRU, ASID isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/psc.hh"
+
+namespace tacsim {
+namespace {
+
+TEST(Psc, ColdLookupStartsFromRoot)
+{
+    PagingStructureCaches pscs;
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, 0x1234000, frame), kPtLevels);
+    EXPECT_EQ(pscs.stats().fullMisses, 1u);
+}
+
+TEST(Psc, DeepestHitWins)
+{
+    PagingStructureCaches pscs;
+    const Addr va = Addr{0x40002000};
+    pscs.fill(0, va, 4, 0xaaa000); // PSCL4: skip to level 3
+    pscs.fill(0, va, 2, 0xbbb000); // PSCL2: skip to leaf
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va, frame), 1u);
+    EXPECT_EQ(frame, 0xbbb000u);
+}
+
+TEST(Psc, PartialHitSkipsSomeLevels)
+{
+    PagingStructureCaches pscs;
+    const Addr va = Addr{0x40002000};
+    pscs.fill(0, va, 4, 0xccc000);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va, frame), 3u);
+    EXPECT_EQ(frame, 0xccc000u);
+    EXPECT_EQ(pscs.stats().hitsAtLevel[3], 1u);
+}
+
+TEST(Psc, TagCoversOnlyUpperBits)
+{
+    // Two addresses in the same 2MB region share the PSCL2 tag.
+    PagingStructureCaches pscs;
+    const Addr va1 = Addr{0x40000000};
+    const Addr va2 = va1 + 5 * kPageSize;
+    pscs.fill(0, va1, 2, 0xddd000);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va2, frame), 1u);
+    EXPECT_EQ(frame, 0xddd000u);
+}
+
+TEST(Psc, CapacityEvictsLru)
+{
+    // PSCL5 has 2 entries.
+    PagingStructureCaches pscs;
+    const Addr base = Addr{1} << 48;
+    pscs.fill(0, base * 1, 5, 0x1000);
+    pscs.fill(0, base * 2, 5, 0x2000);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, base * 1, frame), 4u); // refresh #1
+    pscs.fill(0, base * 3, 5, 0x3000);              // evicts #2
+    EXPECT_EQ(pscs.lookup(0, base * 2, frame), kPtLevels);
+    EXPECT_EQ(pscs.lookup(0, base * 1, frame), 4u);
+    EXPECT_EQ(pscs.lookup(0, base * 3, frame), 4u);
+}
+
+TEST(Psc, AsidsAreIsolated)
+{
+    PagingStructureCaches pscs;
+    const Addr va = Addr{0x40002000};
+    pscs.fill(1, va, 2, 0xeee000);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(2, va, frame), kPtLevels);
+    EXPECT_EQ(pscs.lookup(1, va, frame), 1u);
+}
+
+TEST(Psc, FlushClearsAllLevels)
+{
+    PagingStructureCaches pscs;
+    const Addr va = Addr{0x40002000};
+    for (unsigned level = 2; level <= 5; ++level)
+        pscs.fill(0, va, level, Addr(level) << 20);
+    pscs.flush();
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va, frame), kPtLevels);
+}
+
+TEST(Psc, FillRefreshesExistingEntry)
+{
+    PagingStructureCaches pscs;
+    const Addr va = Addr{0x40002000};
+    pscs.fill(0, va, 2, 0x111000);
+    pscs.fill(0, va, 2, 0x222000);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va, frame), 1u);
+    EXPECT_EQ(frame, 0x222000u);
+}
+
+TEST(Psc, OutOfRangeLevelsIgnored)
+{
+    PagingStructureCaches pscs;
+    pscs.fill(0, 0x1000, 1, 0x111000); // leaf level: no PSC
+    pscs.fill(0, 0x1000, 6, 0x111000); // beyond root
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, 0x1000, frame), kPtLevels);
+}
+
+} // namespace
+} // namespace tacsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the page-table walker: serial level reads, PSC skips,
+ * merging, concurrency limits, STLB fills and the ATP plumbing
+ * (IsLeafLevel + replay block address).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "vm/ptw.hh"
+
+namespace tacsim {
+namespace {
+
+struct PtwTest : ::testing::Test
+{
+    EventQueue eq;
+    test::MockMemory mem{eq, 50};
+    FrameAllocator fa;
+    PageTable pt{fa};
+
+    PageTableWalker
+    makeWalker(PtwParams p = {})
+    {
+        PageTableWalker w(eq, &mem, p);
+        w.addAddressSpace(0, &pt);
+        return w;
+    }
+};
+
+TEST_F(PtwTest, ColdWalkReadsAllFiveLevels)
+{
+    auto w = makeWalker();
+    Addr result = 0;
+    w.walk(0, 0x12345000, 0x400000, 0,
+           [&](Addr paddr, RespSource) { result = paddr; });
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), kPtLevels);
+    EXPECT_EQ(result, pt.translate(0x12345000));
+    EXPECT_EQ(w.stats().walks, 1u);
+    for (unsigned l = 0; l < kPtLevels; ++l)
+        EXPECT_EQ(w.stats().levelReads[l], 1u);
+}
+
+TEST_F(PtwTest, LevelsReadSerially)
+{
+    auto w = makeWalker();
+    w.walk(0, 0x5000, 0, 0, [](Addr, RespSource) {});
+    // After PSC latency + one memory delay, only one read has issued.
+    eq.advanceTo(10);
+    EXPECT_EQ(mem.requests.size(), 1u);
+    eq.advanceTo(60);
+    EXPECT_EQ(mem.requests.size(), 2u);
+    test::drain(eq);
+    EXPECT_EQ(mem.requests.size(), kPtLevels);
+}
+
+TEST_F(PtwTest, PscHitSkipsUpperLevels)
+{
+    auto w = makeWalker();
+    // First walk warms the PSCs.
+    w.walk(0, 0x40000000, 0, 0, [](Addr, RespSource) {});
+    test::drain(eq);
+    const auto readsAfterFirst = mem.countOf(ReqType::Translation);
+    EXPECT_EQ(readsAfterFirst, kPtLevels);
+
+    // Second walk in the same 2MB region: PSCL2 hit -> leaf read only.
+    w.walk(0, 0x40000000 + 7 * kPageSize, 0, 0, [](Addr, RespSource) {});
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), readsAfterFirst + 1);
+    EXPECT_EQ(w.pscStats().hitsAtLevel[1], 1u); // PSCL2
+}
+
+TEST_F(PtwTest, LeafRequestCarriesReplayBlock)
+{
+    auto w = makeWalker();
+    const Addr vaddr = 0x77777123; // offset 0x123 within the page
+    w.walk(0, vaddr, 0, 0, [](Addr, RespSource) {});
+    test::drain(eq);
+    unsigned leafSeen = 0;
+    for (const auto &r : mem.requests) {
+        if (r->type != ReqType::Translation)
+            continue;
+        if (r->ptLevel == 1) {
+            ++leafSeen;
+            EXPECT_TRUE(r->isLeafTranslation());
+            EXPECT_EQ(r->replayBlockPaddr,
+                      blockAlign(pt.translate(vaddr)));
+        } else {
+            EXPECT_EQ(r->replayBlockPaddr, 0u);
+        }
+    }
+    EXPECT_EQ(leafSeen, 1u);
+}
+
+TEST_F(PtwTest, SameVpnWalksMerge)
+{
+    auto w = makeWalker();
+    int done = 0;
+    w.walk(0, 0x9000, 0, 0, [&](Addr, RespSource) { ++done; });
+    w.walk(0, 0x9008, 0, 0, [&](Addr, RespSource) { ++done; });
+    w.walk(0, 0x9ff0, 0, 0, [&](Addr, RespSource) { ++done; });
+    test::drain(eq);
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(w.stats().walks, 1u);
+    EXPECT_EQ(w.stats().merged, 2u);
+}
+
+TEST_F(PtwTest, ConcurrencyLimitQueuesWalks)
+{
+    PtwParams p;
+    p.maxConcurrentWalks = 2;
+    auto w = makeWalker(p);
+    int done = 0;
+    for (Addr i = 0; i < 5; ++i)
+        w.walk(0, (Addr{0x100} + i) << 12, 0, 0,
+               [&](Addr, RespSource) { ++done; });
+    EXPECT_EQ(w.activeWalks(), 2u);
+    EXPECT_EQ(w.stats().queued, 3u);
+    test::drain(eq);
+    EXPECT_EQ(done, 5);
+    EXPECT_EQ(w.stats().walks, 5u);
+    EXPECT_EQ(w.activeWalks(), 0u);
+}
+
+TEST_F(PtwTest, StlbFilledOnCompletion)
+{
+    Tlb stlb("stlb", 64, 4, 8);
+    auto w = makeWalker();
+    w.setStlb(&stlb);
+    const Addr vaddr = 0xabcd3456;
+    w.walk(0, vaddr, 0, 0, [](Addr, RespSource) {});
+    test::drain(eq);
+    Addr pfn = 0;
+    EXPECT_TRUE(stlb.probe(0, pageNumber(vaddr), pfn));
+    EXPECT_EQ(pfn, pageAlign(pt.translate(vaddr)));
+}
+
+TEST_F(PtwTest, LeafSourceRecorded)
+{
+    auto w = makeWalker();
+    w.walk(0, 0x4000, 0, 0, [](Addr, RespSource) {});
+    test::drain(eq);
+    EXPECT_EQ(w.stats().leafFromDram, 1u); // mock completes as DRAM
+}
+
+TEST_F(PtwTest, WalkLatencyIncludesAllLevels)
+{
+    auto w = makeWalker();
+    Cycle finished = 0;
+    w.walk(0, 0x8000, 0, 0,
+           [&](Addr, RespSource) { finished = eq.now(); });
+    test::drain(eq);
+    // 1 cycle PSC + 5 serial reads of 50 cycles.
+    EXPECT_EQ(finished, 1u + kPtLevels * 50u);
+    EXPECT_EQ(w.stats().walkLatency.count(), 1u);
+    EXPECT_EQ(w.stats().walkLatency.max(), 1u + kPtLevels * 50u);
+}
+
+TEST_F(PtwTest, DistinctAsidsWalkDistinctTables)
+{
+    PageTable pt2(fa);
+    auto w = makeWalker();
+    w.addAddressSpace(1, &pt2);
+    Addr pa0 = 0, pa1 = 0;
+    w.walk(0, 0x6000, 0, 0, [&](Addr p, RespSource) { pa0 = p; });
+    w.walk(1, 0x6000, 0, 1, [&](Addr p, RespSource) { pa1 = p; });
+    test::drain(eq);
+    EXPECT_NE(pa0, 0u);
+    EXPECT_NE(pa1, 0u);
+    EXPECT_NE(pa0, pa1);
+}
+
+} // namespace
+} // namespace tacsim

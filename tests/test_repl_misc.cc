@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for LRU/Random policies, the CbPred-style dead-block
+ * wrapper, the CSALT-style partitioning wrapper and the policy factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/repl/basic.hh"
+#include "cache/repl/csalt.hh"
+#include "cache/repl/deadblock.hh"
+#include "cache/repl/policy.hh"
+#include "cache/repl/ship.hh"
+#include "common/rng.hh"
+
+namespace tacsim {
+namespace {
+
+AccessInfo
+dataAccess(Addr ip = 0x400000, Addr block = 0x1000)
+{
+    AccessInfo ai;
+    ai.blockAddr = block;
+    ai.ip = ip;
+    ai.cat = BlockCat::NonReplay;
+    return ai;
+}
+
+AccessInfo
+translationAccess(Addr ip = 0x400000)
+{
+    AccessInfo ai = dataAccess(ip, 0x8000);
+    ai.cat = BlockCat::PtLeaf;
+    ai.ptLevel = 1;
+    return ai;
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy p(4, 4, {});
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, dataAccess());
+    p.onHit(0, 0, dataAccess()); // refresh way 0
+    std::vector<BlockMeta> blocks(4);
+    EXPECT_EQ(p.victim(0, dataAccess(), blocks.data()), 1u);
+}
+
+TEST(Lru, ReplayEvictFastGoesToLruPosition)
+{
+    ReplOpts opts;
+    opts.replayEvictFast = true;
+    LruPolicy p(4, 4, opts);
+    for (std::uint32_t w = 0; w < 3; ++w)
+        p.onFill(0, w, dataAccess());
+    AccessInfo replay = dataAccess();
+    replay.cat = BlockCat::Replay;
+    replay.isReplay = true;
+    p.onFill(0, 3, replay);
+    std::vector<BlockMeta> blocks(4);
+    EXPECT_EQ(p.victim(0, dataAccess(), blocks.data()), 3u);
+}
+
+TEST(Random, VictimAlwaysInRange)
+{
+    RandomPolicy p(8, 16, {}, 99);
+    std::vector<BlockMeta> blocks(16);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(p.victim(0, dataAccess(), blocks.data()), 16u);
+}
+
+TEST(DeadBlock, LearnsToBypassDeadSignatures)
+{
+    auto inner = std::make_unique<ShipPolicy>(64, 8, ReplOpts{});
+    DeadBlockPolicy p(64, 8, {}, std::move(inner));
+    const Addr deadIp = 0x500000;
+    BlockMeta meta;
+    meta.valid = true;
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(p.bypassFill(0, dataAccess(deadIp)));
+        p.onFill(0, 0, dataAccess(deadIp));
+        p.onEvict(0, 0, meta);
+    }
+    EXPECT_TRUE(p.bypassFill(0, dataAccess(deadIp)));
+    EXPECT_GE(p.bypasses(), 1u);
+}
+
+TEST(DeadBlock, ReuseRescuesSignature)
+{
+    auto inner = std::make_unique<ShipPolicy>(64, 8, ReplOpts{});
+    DeadBlockPolicy p(64, 8, {}, std::move(inner));
+    const Addr ip = 0x500100;
+    BlockMeta meta;
+    meta.valid = true;
+    for (int i = 0; i < 4; ++i) {
+        p.onFill(0, 0, dataAccess(ip));
+        p.onEvict(0, 0, meta);
+    }
+    // Hits drive the dead counter back down.
+    for (int i = 0; i < 4; ++i) {
+        p.onFill(0, 0, dataAccess(ip));
+        p.onHit(0, 0, dataAccess(ip));
+    }
+    EXPECT_FALSE(p.bypassFill(0, dataAccess(ip)));
+}
+
+TEST(DeadBlock, NeverBypassesTranslations)
+{
+    auto inner = std::make_unique<ShipPolicy>(64, 8, ReplOpts{});
+    DeadBlockPolicy p(64, 8, {}, std::move(inner));
+    const Addr ip = 0x500200;
+    BlockMeta meta;
+    meta.valid = true;
+    for (int i = 0; i < 8; ++i) {
+        p.onFill(0, 0, dataAccess(ip));
+        p.onEvict(0, 0, meta);
+    }
+    EXPECT_TRUE(p.bypassFill(0, dataAccess(ip)));
+    EXPECT_FALSE(p.bypassFill(0, translationAccess(ip)));
+}
+
+TEST(Csalt, QuotaGrowsWhenTranslationsMiss)
+{
+    auto inner = std::make_unique<ShipPolicy>(64, 8, ReplOpts{});
+    CsaltPolicy p(64, 8, {}, std::move(inner));
+    const auto before = p.translationQuota();
+    // An epoch dominated by translation misses and data hits.
+    for (std::uint64_t i = 0; i < CsaltPolicy::kEpochAccesses; ++i) {
+        if (i % 4 == 0)
+            p.onFill(0, 0, translationAccess()); // translation misses
+        else
+            p.onHit(0, 1, dataAccess()); // data hits
+    }
+    EXPECT_GT(p.translationQuota(), before);
+}
+
+TEST(Csalt, QuotaShrinksWhenDataMisses)
+{
+    auto inner = std::make_unique<ShipPolicy>(64, 8, ReplOpts{});
+    CsaltPolicy p(64, 8, {}, std::move(inner));
+    // First grow it.
+    for (std::uint64_t i = 0; i < CsaltPolicy::kEpochAccesses; ++i) {
+        if (i % 4 == 0)
+            p.onFill(0, 0, translationAccess());
+        else
+            p.onHit(0, 1, dataAccess());
+    }
+    const auto grown = p.translationQuota();
+    // Then an epoch where data misses and translations hit.
+    for (std::uint64_t i = 0; i < CsaltPolicy::kEpochAccesses; ++i) {
+        if (i % 4 == 0)
+            p.onHit(0, 0, translationAccess());
+        else
+            p.onFill(0, 1, dataAccess());
+    }
+    EXPECT_LT(p.translationQuota(), grown);
+}
+
+TEST(Csalt, EvictsWithinClassWhenOverQuota)
+{
+    auto inner = std::make_unique<ShipPolicy>(4, 4, ReplOpts{});
+    CsaltPolicy p(4, 4, {}, std::move(inner));
+    // Set: 3 translation blocks, 1 data block; quota starts small (1).
+    std::vector<BlockMeta> blocks(4);
+    for (int w = 0; w < 3; ++w) {
+        blocks[static_cast<std::size_t>(w)].valid = true;
+        blocks[static_cast<std::size_t>(w)].cat = BlockCat::PtLeaf;
+    }
+    blocks[3].valid = true;
+    blocks[3].cat = BlockCat::NonReplay;
+    // Incoming translation while translations exceed quota: must evict
+    // a translation way, not the data way.
+    const auto v = p.victim(0, translationAccess(), blocks.data());
+    EXPECT_LT(v, 3u);
+}
+
+TEST(Factory, BuildsEveryKindWithMatchingName)
+{
+    const std::pair<PolicyKind, const char *> kinds[] = {
+        {PolicyKind::LRU, "LRU"},       {PolicyKind::Random, "Random"},
+        {PolicyKind::SRRIP, "SRRIP"},   {PolicyKind::BRRIP, "BRRIP"},
+        {PolicyKind::DRRIP, "DRRIP"},   {PolicyKind::SHiP, "SHiP"},
+        {PolicyKind::Hawkeye, "Hawkeye"},
+    };
+    for (auto [kind, name] : kinds) {
+        auto p = makePolicy(kind, 64, 8);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), name);
+        EXPECT_EQ(policyKindName(kind), name);
+        EXPECT_EQ(p->sets(), 64u);
+        EXPECT_EQ(p->ways(), 8u);
+    }
+}
+
+/** Property sweep: every policy kind returns victims within range and
+ *  survives a burst of fills/hits/evicts under every ReplOpts combo. */
+class PolicySweep
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, int>>
+{};
+
+TEST_P(PolicySweep, VictimAlwaysValidUnderChurn)
+{
+    const auto [kind, optBits] = GetParam();
+    ReplOpts opts;
+    opts.translationRrpv0 = optBits & 1;
+    opts.replayEvictFast = optBits & 2;
+    opts.newSignatures = optBits & 4;
+    opts.replayRrpv0 = optBits & 8;
+
+    auto p = makePolicy(kind, 16, 4, opts, 7);
+    std::vector<BlockMeta> blocks(4);
+    for (auto &b : blocks)
+        b.valid = true;
+
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        AccessInfo ai;
+        ai.blockAddr = rng.range(256) * kBlockSize;
+        ai.ip = 0x400000 + rng.range(16) * 4;
+        switch (rng.range(4)) {
+          case 0: ai.cat = BlockCat::NonReplay; break;
+          case 1:
+            ai.cat = BlockCat::Replay;
+            ai.isReplay = true;
+            break;
+          case 2:
+            ai.cat = BlockCat::PtLeaf;
+            ai.ptLevel = 1;
+            break;
+          default:
+            ai.cat = BlockCat::PtUpper;
+            ai.ptLevel = 3;
+            break;
+        }
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(rng.range(16));
+        const std::uint32_t v = p->victim(set, ai, blocks.data());
+        ASSERT_LT(v, 4u);
+        p->onEvict(set, v, blocks[v]);
+        p->onFill(set, v, ai);
+        if (rng.chance(0.5))
+            p->onHit(set, v, ai);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllOpts, PolicySweep,
+    ::testing::Combine(::testing::Values(PolicyKind::LRU,
+                                         PolicyKind::Random,
+                                         PolicyKind::SRRIP,
+                                         PolicyKind::BRRIP,
+                                         PolicyKind::DRRIP,
+                                         PolicyKind::SHiP,
+                                         PolicyKind::Hawkeye),
+                       ::testing::Range(0, 16)));
+
+} // namespace
+} // namespace tacsim

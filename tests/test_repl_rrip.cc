@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the RRIP family: SRRIP transitions, BRRIP bimodality,
+ * DRRIP set-dueling, and the paper's T-DRRIP insertion overrides
+ * (translations at RRPV=0, replays at RRPV=3, Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/repl/rrip.hh"
+
+namespace tacsim {
+namespace {
+
+AccessInfo
+dataAccess(Addr block = 0x1000, Addr ip = 0x400000)
+{
+    AccessInfo ai;
+    ai.blockAddr = block;
+    ai.ip = ip;
+    ai.cat = BlockCat::NonReplay;
+    return ai;
+}
+
+AccessInfo
+replayAccess(Addr block = 0x2000)
+{
+    AccessInfo ai = dataAccess(block);
+    ai.cat = BlockCat::Replay;
+    ai.isReplay = true;
+    return ai;
+}
+
+AccessInfo
+leafTranslation(Addr block = 0x3000)
+{
+    AccessInfo ai = dataAccess(block);
+    ai.cat = BlockCat::PtLeaf;
+    ai.ptLevel = 1;
+    return ai;
+}
+
+TEST(Srrip, InsertsAtLongInterval)
+{
+    SrripPolicy p(4, 4, {});
+    p.onFill(0, 0, dataAccess());
+    EXPECT_EQ(p.rrpv(0, 0), RripBase::kMaxRrpv - 1);
+}
+
+TEST(Srrip, PromotesToZeroOnHit)
+{
+    SrripPolicy p(4, 4, {});
+    p.onFill(0, 1, dataAccess());
+    p.onHit(0, 1, dataAccess());
+    EXPECT_EQ(p.rrpv(0, 1), 0);
+}
+
+TEST(Srrip, VictimPrefersDistantAndAges)
+{
+    SrripPolicy p(1, 2, {});
+    p.onFill(0, 0, dataAccess(0x0));
+    p.onFill(0, 1, dataAccess(0x40));
+    p.onHit(0, 0, dataAccess(0x0)); // way0 -> 0, way1 stays at 2
+    std::vector<BlockMeta> blocks(2);
+    const std::uint32_t v = p.victim(0, dataAccess(0x80), blocks.data());
+    EXPECT_EQ(v, 1u); // aged to 3 first
+    // Aging incremented way0 as well.
+    EXPECT_EQ(p.rrpv(0, 0), 1);
+}
+
+TEST(Brrip, InsertsMostlyDistant)
+{
+    BrripPolicy p(1, 16, {}, 123);
+    unsigned distant = 0;
+    for (std::uint32_t w = 0; w < 16; ++w) {
+        p.onFill(0, w, dataAccess(Addr(w) * 64));
+        distant += p.rrpv(0, w) == RripBase::kMaxRrpv;
+    }
+    EXPECT_GE(distant, 12u); // ~31/32 expected
+}
+
+TEST(Drrip, LeaderSetsAreDisjoint)
+{
+    DrripPolicy p(1024, 16, {}, 1);
+    unsigned srrip = 0, brrip = 0;
+    for (std::uint32_t s = 0; s < 1024; ++s) {
+        EXPECT_FALSE(p.isSrripLeader(s) && p.isBrripLeader(s));
+        srrip += p.isSrripLeader(s);
+        brrip += p.isBrripLeader(s);
+    }
+    EXPECT_EQ(srrip, DrripPolicy::kLeaderSets);
+    EXPECT_EQ(brrip, DrripPolicy::kLeaderSets);
+}
+
+TEST(Drrip, PselMovesWithLeaderMisses)
+{
+    DrripPolicy p(1024, 16, {}, 1);
+    const int before = p.psel();
+    // Misses (fills) in SRRIP leader sets vote for BRRIP (increment).
+    std::uint32_t srripLeader = 0;
+    while (!p.isSrripLeader(srripLeader))
+        ++srripLeader;
+    for (int i = 0; i < 10; ++i)
+        p.onFill(srripLeader, 0, dataAccess());
+    EXPECT_GT(p.psel(), before);
+
+    std::uint32_t brripLeader = 0;
+    while (!p.isBrripLeader(brripLeader))
+        ++brripLeader;
+    for (int i = 0; i < 20; ++i)
+        p.onFill(brripLeader, 0, dataAccess());
+    EXPECT_LT(p.psel(), before + 10);
+}
+
+TEST(TDrrip, LeafTranslationsInsertAtZero)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    opts.replayEvictFast = true;
+    DrripPolicy p(64, 8, opts, 1);
+    p.onFill(5, 0, leafTranslation());
+    EXPECT_EQ(p.rrpv(5, 0), 0);
+    EXPECT_EQ(p.name(), "T-DRRIP");
+}
+
+TEST(TDrrip, UpperLevelTranslationsNotPinned)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    DrripPolicy p(64, 8, opts, 1);
+    AccessInfo upper = leafTranslation();
+    upper.ptLevel = 3;
+    upper.cat = BlockCat::PtUpper;
+    p.onFill(5, 1, upper);
+    EXPECT_GT(p.rrpv(5, 1), 0);
+}
+
+TEST(TDrrip, ReplaysInsertDeadOnArrival)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    opts.replayEvictFast = true;
+    DrripPolicy p(64, 8, opts, 1);
+    p.onFill(5, 2, replayAccess());
+    EXPECT_EQ(p.rrpv(5, 2), RripBase::kMaxRrpv);
+}
+
+TEST(TDrrip, Fig10AblationInsertsReplaysAtZero)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    opts.replayRrpv0 = true; // the ablated variant
+    DrripPolicy p(64, 8, opts, 1);
+    p.onFill(5, 2, replayAccess());
+    EXPECT_EQ(p.rrpv(5, 2), 0);
+}
+
+TEST(TDrrip, AtpPrefetchesInsertDistant)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    DrripPolicy p(64, 8, opts, 1);
+    AccessInfo pf;
+    pf.blockAddr = 0x4000;
+    pf.cat = BlockCat::Prefetch;
+    pf.distantHint = true;
+    pf.origin = PrefetchOrigin::Atp;
+    p.onFill(5, 3, pf);
+    EXPECT_EQ(p.rrpv(5, 3), RripBase::kMaxRrpv);
+}
+
+TEST(TDrrip, PromotionUnchangedFromDrrip)
+{
+    ReplOpts opts;
+    opts.translationRrpv0 = true;
+    opts.replayEvictFast = true;
+    DrripPolicy p(64, 8, opts, 1);
+    p.onFill(5, 2, replayAccess());
+    p.onHit(5, 2, replayAccess());
+    EXPECT_EQ(p.rrpv(5, 2), 0); // reuse promotes even replays
+}
+
+} // namespace
+} // namespace tacsim

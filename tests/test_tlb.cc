@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the TLB: lookups, LRU within a set, ASID isolation,
+ * probe semantics and the recall profiler used by Fig. 18.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+namespace tacsim {
+namespace {
+
+TEST(Tlb, MissThenFillThenHit)
+{
+    Tlb tlb("t", 64, 4, 1);
+    Addr pfn = 0;
+    EXPECT_FALSE(tlb.lookup(0, 0x123, pfn));
+    tlb.fill(0, 0x123, 0xabc000);
+    EXPECT_TRUE(tlb.lookup(0, 0x123, pfn));
+    EXPECT_EQ(pfn, 0xabc000u);
+    EXPECT_EQ(tlb.stats().accesses, 2u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, AsidsAreIsolated)
+{
+    Tlb tlb("t", 64, 4, 1);
+    tlb.fill(1, 0x55, 0x1000);
+    Addr pfn = 0;
+    EXPECT_FALSE(tlb.lookup(2, 0x55, pfn));
+    EXPECT_TRUE(tlb.lookup(1, 0x55, pfn));
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    // 4 entries, 4 ways: one set. Fill 5 VPNs; the LRU one must go.
+    Tlb tlb("t", 4, 4, 1);
+    for (Addr v = 0; v < 4; ++v)
+        tlb.fill(0, v * 1 /* same set: sets==1 */, Addr(v + 1) << 12);
+    Addr pfn = 0;
+    EXPECT_TRUE(tlb.lookup(0, 0, pfn)); // refresh vpn 0
+    tlb.fill(0, 100, 0x99000);          // evicts vpn 1 (oldest now)
+    EXPECT_FALSE(tlb.probe(0, 1, pfn));
+    EXPECT_TRUE(tlb.probe(0, 0, pfn));
+    EXPECT_TRUE(tlb.probe(0, 100, pfn));
+}
+
+TEST(Tlb, ProbeDoesNotTouchStatsOrLru)
+{
+    Tlb tlb("t", 4, 4, 1);
+    tlb.fill(0, 7, 0x7000);
+    const auto before = tlb.stats().accesses;
+    Addr pfn = 0;
+    EXPECT_TRUE(tlb.probe(0, 7, pfn));
+    EXPECT_EQ(tlb.stats().accesses, before);
+}
+
+TEST(Tlb, FillRefreshesExistingEntryInPlace)
+{
+    Tlb tlb("t", 4, 4, 1);
+    tlb.fill(0, 9, 0x1000);
+    tlb.fill(0, 9, 0x2000); // remap
+    Addr pfn = 0;
+    EXPECT_TRUE(tlb.lookup(0, 9, pfn));
+    EXPECT_EQ(pfn, 0x2000u);
+}
+
+TEST(Tlb, FlushInvalidatesEverything)
+{
+    Tlb tlb("t", 64, 4, 1);
+    for (Addr v = 0; v < 32; ++v)
+        tlb.fill(0, v, v << 12);
+    tlb.flush();
+    Addr pfn = 0;
+    for (Addr v = 0; v < 32; ++v)
+        EXPECT_FALSE(tlb.probe(0, v, pfn));
+}
+
+TEST(Tlb, SetIndexingSpreadsVpns)
+{
+    Tlb tlb("t", 64, 4, 1);
+    EXPECT_EQ(tlb.sets(), 16u);
+    // 16 consecutive VPNs land in 16 different sets: none evicted.
+    for (Addr v = 0; v < 64; ++v)
+        tlb.fill(0, v, v << 12);
+    Addr pfn = 0;
+    for (Addr v = 0; v < 64; ++v)
+        EXPECT_TRUE(tlb.probe(0, v, pfn)) << v;
+}
+
+TEST(Tlb, ResetStatsKeepsContents)
+{
+    Tlb tlb("t", 64, 4, 1);
+    tlb.fill(0, 3, 0x3000);
+    Addr pfn = 0;
+    tlb.lookup(0, 3, pfn);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_TRUE(tlb.probe(0, 3, pfn));
+}
+
+TEST(Tlb, RecallProfilerTracksEvictedEntries)
+{
+    Tlb tlb("t", 4, 4, 1, /*profileRecall=*/true);
+    // Fill the single set, evict vpn 0, then access it again.
+    for (Addr v = 0; v < 4; ++v) {
+        Addr pfn = 0;
+        tlb.lookup(0, v, pfn); // miss (counts an access in the set)
+        tlb.fill(0, v, v << 12);
+    }
+    Addr pfn = 0;
+    tlb.fill(0, 50, 0x50000); // evicts vpn 0 (LRU)
+    tlb.lookup(0, 0, pfn);    // recall event for vpn 0
+    ASSERT_NE(tlb.recallProfiler(), nullptr);
+    EXPECT_EQ(tlb.recallProfiler()->translationHist().count(), 1u);
+}
+
+TEST(Tlb, LatencyIsReported)
+{
+    Tlb tlb("t", 2048, 16, 8);
+    EXPECT_EQ(tlb.latency(), 8u);
+    EXPECT_EQ(tlb.entries(), 2048u);
+    EXPECT_EQ(tlb.ways(), 16u);
+}
+
+} // namespace
+} // namespace tacsim

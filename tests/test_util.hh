@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for unit tests: a scriptable memory device that records
+ * the requests it receives, and request factories.
+ */
+
+#ifndef TACSIM_TESTS_TEST_UTIL_HH
+#define TACSIM_TESTS_TEST_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "mem/request.hh"
+
+namespace tacsim::test {
+
+/**
+ * Bottom-of-hierarchy stub: records every request and completes it after
+ * a fixed delay on the shared event queue.
+ */
+class MockMemory : public MemDevice
+{
+  public:
+    explicit MockMemory(EventQueue &eq, Cycle delay = 100)
+        : eq_(eq), delay_(delay)
+    {}
+
+    void
+    access(const MemRequestPtr &req) override
+    {
+        requests.push_back(req);
+        MemRequestPtr keep = req;
+        eq_.schedule(delay_, [keep, this] {
+            keep->complete(eq_.now(), RespSource::DRAM);
+        });
+    }
+
+    const std::string &name() const override { return name_; }
+
+    /** Requests of a given type received so far. */
+    std::size_t
+    countOf(ReqType t) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : requests)
+            n += r->type == t;
+        return n;
+    }
+
+    std::vector<MemRequestPtr> requests;
+
+  private:
+    EventQueue &eq_;
+    Cycle delay_;
+    std::string name_ = "mock";
+};
+
+/** Build a demand load request. */
+inline MemRequestPtr
+makeLoad(Addr paddr, Addr ip = 0x400000, bool replay = false)
+{
+    auto req = std::make_shared<MemRequest>();
+    req->paddr = paddr;
+    req->vaddr = paddr;
+    req->ip = ip;
+    req->type = ReqType::Load;
+    req->isReplay = replay;
+    return req;
+}
+
+/** Build a PTW translation read. */
+inline MemRequestPtr
+makeTranslation(Addr paddr, unsigned level, Addr replayBlock = 0,
+                Addr ip = 0x400000)
+{
+    auto req = std::make_shared<MemRequest>();
+    req->paddr = paddr;
+    req->ip = ip;
+    req->type = ReqType::Translation;
+    req->ptLevel = static_cast<std::uint8_t>(level);
+    req->replayBlockPaddr = replayBlock;
+    return req;
+}
+
+/** Drain the event queue completely (bounded). */
+inline void
+drain(EventQueue &eq, std::uint64_t maxSteps = 1u << 20)
+{
+    while (!eq.empty() && maxSteps--)
+        eq.step();
+}
+
+} // namespace tacsim::test
+
+#endif // TACSIM_TESTS_TEST_UTIL_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the synthetic benchmark generators: determinism,
+ * record validity, footprints, structural properties and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/benchmarks.hh"
+#include "workloads/canneal.hh"
+#include "workloads/graph.hh"
+#include "workloads/mcf.hh"
+#include "workloads/xalanc.hh"
+
+namespace tacsim {
+namespace {
+
+TEST(Workloads, FactoryBuildsEveryBenchmark)
+{
+    for (Benchmark b : kAllBenchmarks) {
+        auto w = makeWorkload(b, 1);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), benchmarkName(b));
+        EXPECT_GT(w->footprint(), Addr{100} << 20)
+            << "paper footprints are hundreds of MB";
+    }
+}
+
+TEST(Workloads, DeterministicPerSeed)
+{
+    for (Benchmark b : kAllBenchmarks) {
+        auto w1 = makeWorkload(b, 7);
+        auto w2 = makeWorkload(b, 7);
+        for (int i = 0; i < 2000; ++i) {
+            const TraceRecord t1 = w1->next();
+            const TraceRecord t2 = w2->next();
+            ASSERT_EQ(t1.vaddr, t2.vaddr) << benchmarkName(b);
+            ASSERT_EQ(t1.ip, t2.ip);
+            ASSERT_EQ(static_cast<int>(t1.kind),
+                      static_cast<int>(t2.kind));
+        }
+    }
+}
+
+TEST(Workloads, DifferentSeedsDiffer)
+{
+    auto w1 = makeWorkload(Benchmark::pr, 1);
+    auto w2 = makeWorkload(Benchmark::pr, 2);
+    bool anyDiff = false;
+    for (int i = 0; i < 2000; ++i)
+        anyDiff |= w1->next().vaddr != w2->next().vaddr;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Workloads, MemRecordsHaveAddressesAndIps)
+{
+    for (Benchmark b : kAllBenchmarks) {
+        auto w = makeWorkload(b, 3);
+        unsigned memOps = 0;
+        for (int i = 0; i < 5000; ++i) {
+            const TraceRecord t = w->next();
+            EXPECT_NE(t.ip, 0u);
+            if (t.isMem()) {
+                EXPECT_NE(t.vaddr, 0u) << benchmarkName(b);
+                ++memOps;
+            }
+        }
+        EXPECT_GT(memOps, 500u)
+            << benchmarkName(b) << " must be memory-intensive";
+    }
+}
+
+TEST(Workloads, AddressesStayWithinReasonableRegion)
+{
+    // Every generated address must land in a bounded virtual region so
+    // page-table growth stays sane.
+    for (Benchmark b : kAllBenchmarks) {
+        auto w = makeWorkload(b, 3);
+        for (int i = 0; i < 20000; ++i) {
+            const TraceRecord t = w->next();
+            if (t.isMem())
+                ASSERT_LT(t.vaddr, Addr{1} << 46) << benchmarkName(b);
+        }
+    }
+}
+
+TEST(Workloads, CategoriesMatchTableTwo)
+{
+    EXPECT_EQ(benchmarkCategory(Benchmark::xalancbmk), MpkiCategory::Low);
+    EXPECT_EQ(benchmarkCategory(Benchmark::mcf), MpkiCategory::Medium);
+    EXPECT_EQ(benchmarkCategory(Benchmark::pr), MpkiCategory::High);
+    EXPECT_EQ(categoryName(MpkiCategory::High), "High");
+}
+
+TEST(Workloads, TableTwoDataIsOrderedByStlbMpki)
+{
+    double prev = 0;
+    for (Benchmark b : kAllBenchmarks) {
+        EXPECT_GE(paperTableTwo(b).stlbMpki, prev);
+        prev = paperTableTwo(b).stlbMpki;
+    }
+}
+
+TEST(GraphWorkloadTest, DegreeDistributionHasHeavyTail)
+{
+    GraphParams p;
+    p.vertices = 1 << 16;
+    GraphWorkload g(GraphAlgo::PR, p);
+    std::uint64_t maxDeg = 0, sum = 0;
+    for (std::uint64_t v = 0; v < 10000; ++v) {
+        const auto d = g.degree(v);
+        maxDeg = std::max(maxDeg, d);
+        sum += d;
+        EXPECT_GE(d, 1u);
+    }
+    const double avg = double(sum) / 10000.0;
+    EXPECT_GT(maxDeg, Addr(avg * 4)) << "no heavy tail";
+}
+
+TEST(GraphWorkloadTest, NeighborsInRangeAndDeterministic)
+{
+    GraphParams p;
+    p.vertices = 1 << 16;
+    GraphWorkload g(GraphAlgo::BF, p);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            const auto n = g.neighbor(v, i);
+            EXPECT_LT(n, p.vertices);
+            EXPECT_EQ(n, g.neighbor(v, i));
+        }
+}
+
+TEST(GraphWorkloadTest, HubBiasConcentratesNeighbors)
+{
+    GraphParams p;
+    p.vertices = 1 << 20;
+    p.hubFraction = 0.5;
+    p.localFraction = 0.0;
+    p.hubVertices = 1 << 10;
+    GraphWorkload g(GraphAlgo::PR, p);
+    unsigned inHub = 0, total = 0;
+    for (std::uint64_t v = 0; v < 2000; ++v)
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            inHub += g.neighbor(v, i) < p.hubVertices;
+            ++total;
+        }
+    EXPECT_NEAR(double(inHub) / total, 0.5, 0.05);
+}
+
+TEST(McfWorkloadTest, ChainDoesNotCycleShort)
+{
+    McfWorkload m;
+    std::set<Addr> seen;
+    unsigned repeats = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const TraceRecord t = m.next();
+        if (t.kind == TraceRecord::Kind::Load &&
+            t.dependsOnPrevLoad) {
+            if (!seen.insert(t.vaddr).second)
+                ++repeats;
+        }
+    }
+    // Revisits happen (hot region) but the chain must not collapse into
+    // a tiny cycle.
+    EXPECT_GT(seen.size(), 200u);
+}
+
+TEST(McfWorkloadTest, FirstLoadIsDependentChase)
+{
+    McfWorkload m;
+    const TraceRecord t = m.next();
+    EXPECT_EQ(t.kind, TraceRecord::Kind::Load);
+    EXPECT_TRUE(t.dependsOnPrevLoad);
+}
+
+TEST(CannealWorkloadTest, MixesHotAndColdElements)
+{
+    CannealParams p;
+    p.coldElementFraction = 0.5;
+    CannealWorkload w(p);
+    unsigned beyondHot = 0, loads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const TraceRecord t = w.next();
+        if (t.kind != TraceRecord::Kind::Load)
+            continue;
+        ++loads;
+        // hot region is the first hotBytes of the arena
+        const Addr off = t.vaddr & ((Addr{1} << 42) - 1);
+        beyondHot += off > p.hotBytes + 64;
+    }
+    EXPECT_GT(beyondHot, loads / 5);
+    EXPECT_LT(beyondHot, loads);
+}
+
+TEST(XalancWorkloadTest, ColdExcursionsAreRare)
+{
+    XalancWorkload w;
+    unsigned cold = 0, loads = 0;
+    const Addr coldBase = (Addr{1} << 43) + (Addr{1} << 35);
+    for (int i = 0; i < 50000; ++i) {
+        const TraceRecord t = w.next();
+        if (t.kind != TraceRecord::Kind::Load)
+            continue;
+        ++loads;
+        cold += t.vaddr >= coldBase;
+    }
+    EXPECT_GT(cold, 0u);
+    EXPECT_LT(double(cold) / loads, 0.3);
+}
+
+/** Property: every generator produces a bounded instruction mix. */
+class WorkloadMixTest : public ::testing::TestWithParam<Benchmark>
+{};
+
+TEST_P(WorkloadMixTest, LoadFractionWithinBand)
+{
+    auto w = makeWorkload(GetParam(), 5);
+    unsigned loads = 0, stores = 0, nonmem = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        switch (w->next().kind) {
+          case TraceRecord::Kind::Load: ++loads; break;
+          case TraceRecord::Kind::Store: ++stores; break;
+          default: ++nonmem; break;
+        }
+    }
+    const double loadFrac = double(loads) / n;
+    EXPECT_GT(loadFrac, 0.05);
+    EXPECT_LT(loadFrac, 0.75);
+    EXPECT_LT(double(stores) / n, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadMixTest,
+                         ::testing::ValuesIn(kAllBenchmarks),
+                         [](const auto &info) {
+                             return benchmarkName(info.param);
+                         });
+
+} // namespace
+} // namespace tacsim
