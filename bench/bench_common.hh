@@ -8,8 +8,16 @@
  * and prints a paper-vs-measured table after the benchmark run so the
  * output is directly comparable with the paper's figure.
  *
+ * Execution is two-phase: binaries register their simulation points on
+ * the process-wide SweepRunner (registerPoint / registerMixPoint) before
+ * benchMain, which executes the whole sweep across a thread pool
+ * (TACSIM_JOBS workers) and then runs the reporting cases, which fetch
+ * the memoized results via cachedRun(). Binaries that skip registration
+ * still work: cachedRun() falls back to executing lazily in-place.
+ *
  * Instruction budgets: TACSIM_INSTRUCTIONS / TACSIM_WARMUP override the
- * defaults for higher-fidelity runs.
+ * defaults for higher-fidelity runs. TACSIM_JSON_OUT=<path> additionally
+ * writes the table plus per-run metadata as a JSON report.
  */
 
 #ifndef TACSIM_BENCH_COMMON_HH
@@ -20,25 +28,18 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 
 namespace tacbench {
 
 using namespace tacsim;
 
 /** One row of the final paper-vs-measured table. */
-struct Row
-{
-    std::string series;  ///< e.g. "T-SHiP"
-    std::string label;   ///< e.g. benchmark name
-    double measured;
-    double paper;        ///< NaN when the paper gives no number
-    std::string unit;
-};
+using Row = ReportRow;
 
 inline std::vector<Row> &
 rows()
@@ -95,17 +96,41 @@ proposedConfig(bool tempo = true)
     return cfg;
 }
 
-/** Memoized per-benchmark run (configs hashed by caller-chosen key). */
-inline RunResult &
+/** The process-wide sweep runner every bench binary shares. */
+inline SweepRunner &
+sweep()
+{
+    return globalSweep();
+}
+
+/** Phase 1: register one simulation point for the parallel sweep. */
+inline void
+registerPoint(const std::string &key, const SystemConfig &cfg, Benchmark b,
+              std::uint64_t instructions = 0, std::uint64_t warmup = 0)
+{
+    sweep().add(key, cfg, b, instructions, warmup);
+}
+
+/** Phase 1: register a multi-thread mix point. */
+inline void
+registerMixPoint(const std::string &key, const SystemConfig &cfg,
+                 std::vector<Benchmark> mix,
+                 std::uint64_t instructions = 0, std::uint64_t warmup = 0)
+{
+    sweep().addMix(key, cfg, std::move(mix), instructions, warmup);
+}
+
+/**
+ * Memoized per-benchmark run (configs hashed by caller-chosen key).
+ * Pre-registered keys return the sweep's result; unknown keys register
+ * and execute on the spot (serial fallback).
+ */
+inline const RunResult &
 cachedRun(const std::string &key, const SystemConfig &cfg, Benchmark b,
           std::uint64_t instructions = 0, std::uint64_t warmup = 0)
 {
-    static std::map<std::string, RunResult> memo;
-    auto it = memo.find(key);
-    if (it == memo.end())
-        it = memo.emplace(key, runBenchmark(cfg, b, instructions, warmup))
-                 .first;
-    return it->second;
+    sweep().add(key, cfg, b, instructions, warmup);
+    return sweep().result(key);
 }
 
 /**
@@ -125,14 +150,25 @@ registerCase(const std::string &name, std::function<void()> fn)
         ->Unit(benchmark::kMillisecond);
 }
 
-/** Standard main body: run the registered cases, print the table. */
+/** Standard main body: execute the sweep, run the registered cases,
+ *  print the table, and emit the JSON report if requested. */
 inline int
 benchMain(int argc, char **argv, const std::string &title)
 {
     benchmark::Initialize(&argc, argv);
+    if (sweep().points() > 0)
+        std::fprintf(stderr, "tacsim: sweeping %zu points on %u threads\n",
+                     sweep().points(), sweep().threadCount());
+    sweep().run();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable(title);
+    for (const SweepOutcome *o : sweep().outcomes()) {
+        if (!o->ok)
+            std::fprintf(stderr, "tacsim: sweep point '%s' FAILED: %s\n",
+                         o->key.c_str(), o->error.c_str());
+    }
+    sweep().writeJsonFromEnv(title, rows());
     return 0;
 }
 

@@ -8,11 +8,39 @@
  * Compares, against the plain baseline: (a) the correct T-DRRIP/T-SHiP
  * insertion (translations 0, replays evict-fast) and (b) the ablated
  * RRPV0-for-both variant. The paper reports (b) losing performance.
+ *
+ * The 18 points (6 benchmarks x {base, correct, ablated}) are registered
+ * up front and executed by the parallel sweep runner.
  */
 
 #include "bench_common.hh"
 
 using namespace tacbench;
+
+namespace {
+
+SystemConfig
+correctConfig()
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.l2Opts.translationRrpv0 = true;
+    cfg.l2Opts.replayEvictFast = true;
+    cfg.llcOpts.newSignatures = true;
+    cfg.llcOpts.translationRrpv0 = true;
+    return cfg;
+}
+
+SystemConfig
+ablatedConfig()
+{
+    SystemConfig cfg = correctConfig();
+    cfg.l2Opts.replayEvictFast = false;
+    cfg.l2Opts.replayRrpv0 = true; // ablation: replays at 0
+    cfg.llcOpts.replayRrpv0 = true;
+    return cfg;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,22 +53,20 @@ main(int argc, char **argv)
 
     for (Benchmark b : subset) {
         const std::string name = benchmarkName(b);
+        registerPoint("base/" + name, baselineConfig(), b);
+        registerPoint("fig10/T/" + name, correctConfig(), b);
+        registerPoint("fig10/ablate/" + name, ablatedConfig(), b);
+    }
+
+    for (Benchmark b : subset) {
+        const std::string name = benchmarkName(b);
         registerCase("fig10/" + name, [b, name, &good, &bad] {
             const RunResult &base =
                 cachedRun("base/" + name, baselineConfig(), b);
-
-            SystemConfig tCfg = baselineConfig();
-            tCfg.l2Opts.translationRrpv0 = true;
-            tCfg.l2Opts.replayEvictFast = true;
-            tCfg.llcOpts.newSignatures = true;
-            tCfg.llcOpts.translationRrpv0 = true;
-            RunResult tRes = runBenchmark(tCfg, b);
-
-            SystemConfig aCfg = tCfg;
-            aCfg.l2Opts.replayEvictFast = false;
-            aCfg.l2Opts.replayRrpv0 = true;  // ablation: replays at 0
-            aCfg.llcOpts.replayRrpv0 = true;
-            RunResult aRes = runBenchmark(aCfg, b);
+            const RunResult &tRes =
+                cachedRun("fig10/T/" + name, correctConfig(), b);
+            const RunResult &aRes =
+                cachedRun("fig10/ablate/" + name, ablatedConfig(), b);
 
             const double sGood = (speedup(base, tRes) - 1) * 100;
             const double sBad = (speedup(base, aRes) - 1) * 100;

@@ -7,16 +7,44 @@
  *
  * Paper reference point: average improvement above 4%; heterogeneous
  * mixes benefit when co-runners do not thrash the LLC.
+ *
+ * The 8 mix simulations (4 mixes x {base, enhanced}) are registered up
+ * front and executed by the parallel sweep runner.
  */
+
+#include <algorithm>
 
 #include "bench_common.hh"
 
 using namespace tacbench;
 
+namespace {
+
+using B = Benchmark;
+
+tacsim::SystemConfig
+mcBaseConfig()
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.numCores = 8;
+    return cfg;
+}
+
+tacsim::SystemConfig
+mcEnhConfig()
+{
+    SystemConfig cfg = mcBaseConfig();
+    TranslationAwareOptions o;
+    o.tempo = true;
+    applyTranslationAware(cfg, o);
+    return cfg;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    using B = Benchmark;
     struct Mix
     {
         const char *name;
@@ -38,34 +66,32 @@ main(int argc, char **argv)
     const std::uint64_t warm =
         std::max<std::uint64_t>(30000, defaultWarmup() / 3);
 
+    for (const Mix &m : mixes) {
+        registerMixPoint(std::string("mc/base/") + m.name, mcBaseConfig(),
+                         m.threads, instr, warm);
+        registerMixPoint(std::string("mc/enh/") + m.name, mcEnhConfig(),
+                         m.threads, instr, warm);
+    }
+
     std::vector<double> gains;
 
     for (const Mix &m : mixes) {
         const Mix *mp = &m;
-        registerCase(std::string("multicore/") + m.name,
-                     [mp, instr, warm, &gains] {
-                         SystemConfig base = baselineConfig();
-                         base.numCores = 8;
-                         RunResult rb =
-                             runMix(base, mp->threads, instr, warm);
+        registerCase(std::string("multicore/") + m.name, [mp, &gains] {
+            const RunResult &rb =
+                sweep().result(std::string("mc/base/") + mp->name);
+            const RunResult &re =
+                sweep().result(std::string("mc/enh/") + mp->name);
 
-                         SystemConfig enh = base;
-                         TranslationAwareOptions o;
-                         o.tempo = true;
-                         applyTranslationAware(enh, o);
-                         RunResult re =
-                             runMix(enh, mp->threads, instr, warm);
-
-                         // Weighted speedup: mean of per-thread IPC
-                         // ratios.
-                         double sum = 0;
-                         for (std::size_t t = 0; t < 8; ++t)
-                             sum += re.threadIpc(t) / rb.threadIpc(t);
-                         const double ws = sum / 8.0;
-                         addRow("8-core weighted speedup", mp->name,
-                                (ws - 1) * 100, std::nan(""), "%");
-                         gains.push_back(ws);
-                     });
+            // Weighted speedup: mean of per-thread IPC ratios.
+            double sum = 0;
+            for (std::size_t t = 0; t < 8; ++t)
+                sum += re.threadIpc(t) / rb.threadIpc(t);
+            const double ws = sum / 8.0;
+            addRow("8-core weighted speedup", mp->name, (ws - 1) * 100,
+                   std::nan(""), "%");
+            gains.push_back(ws);
+        });
     }
 
     registerCase("multicore/summary", [&gains] {

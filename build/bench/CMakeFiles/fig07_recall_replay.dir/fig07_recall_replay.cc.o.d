@@ -251,4 +251,8 @@ bench/CMakeFiles/fig07_recall_replay.dir/fig07_recall_replay.cc.o: \
  /root/repo/src/cache/recall_profiler.hh /root/repo/src/mem/dram.hh \
  /root/repo/src/prefetch/factory.hh /root/repo/src/prefetch/prefetcher.hh \
  /usr/include/c++/12/optional /root/repo/src/sim/system.hh \
- /root/repo/src/cache/cache.hh /root/repo/src/workloads/benchmarks.hh
+ /root/repo/src/cache/cache.hh /root/repo/src/workloads/benchmarks.hh \
+ /root/repo/src/sim/sweep.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -26,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/prefetch/spp.cc" "src/CMakeFiles/tacsim.dir/prefetch/spp.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/spp.cc.o.d"
   "/root/repo/src/sim/config.cc" "src/CMakeFiles/tacsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/config.cc.o.d"
   "/root/repo/src/sim/runner.cc" "src/CMakeFiles/tacsim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/tacsim.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/sweep.cc.o.d"
   "/root/repo/src/sim/system.cc" "src/CMakeFiles/tacsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/system.cc.o.d"
   "/root/repo/src/vm/psc.cc" "src/CMakeFiles/tacsim.dir/vm/psc.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/vm/psc.cc.o.d"
   "/root/repo/src/vm/ptw.cc" "src/CMakeFiles/tacsim.dir/vm/ptw.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/vm/ptw.cc.o.d"

@@ -209,4 +209,7 @@ src/CMakeFiles/tacsim.dir/cache/repl/rrip.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/rng.hh
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/rng.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_repl_rrip.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_rrip.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_rrip.cc.o.d"
   "/root/repo/tests/test_repl_ship.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_ship.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_ship.cc.o.d"
   "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/tacsim_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/tacsim_tests.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_sweep.cc.o.d"
   "/root/repo/tests/test_system.cc" "tests/CMakeFiles/tacsim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_system.cc.o.d"
   "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/tacsim_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_tlb.cc.o.d"
   "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/tacsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_workloads.cc.o.d"

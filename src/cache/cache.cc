@@ -65,7 +65,7 @@ Cache::access(const MemRequestPtr &req)
 }
 
 void
-Cache::lookup(const MemRequestPtr &req)
+Cache::lookup(const MemRequestPtr &req, bool countStats)
 {
     const Addr blockAddr = req->blockAddr();
     const std::uint32_t set = setIndex(blockAddr);
@@ -73,12 +73,15 @@ Cache::lookup(const MemRequestPtr &req)
     AccessInfo ai = accessInfoFor(*req);
 
     const auto cat = static_cast<std::size_t>(ai.cat);
-    ++stats_.accesses[cat];
-    if (profiler_)
-        profiler_->onAccess(set, blockAddr, ai.cat);
+    if (countStats) {
+        ++stats_.accesses[cat];
+        if (profiler_)
+            profiler_->onAccess(set, blockAddr, ai.cat);
+    }
 
     if (way >= 0) {
-        ++stats_.hits[cat];
+        if (countStats)
+            ++stats_.hits[cat];
         BlockMeta &b =
             blocks_[static_cast<std::size_t>(set) * params_.ways + way];
         if (req->type == ReqType::Store)
@@ -100,7 +103,7 @@ Cache::lookup(const MemRequestPtr &req)
             policy_->onHit(set, static_cast<std::uint32_t>(way), ai);
         }
 
-        if (prefetcher_ && req->isDemand())
+        if (countStats && prefetcher_ && req->isDemand())
             prefetcher_->onAccess(ai, true);
 
         // ATP (paper §IV): a leaf-translation hit at this level means
@@ -117,15 +120,19 @@ Cache::lookup(const MemRequestPtr &req)
     }
 
     // Miss.
-    ++stats_.misses[cat];
-    if (prefetcher_ && req->isDemand())
-        prefetcher_->onAccess(ai, false);
+    if (countStats) {
+        ++stats_.misses[cat];
+        if (prefetcher_ && req->isDemand())
+            prefetcher_->onAccess(ai, false);
+    }
 
     // Ideal modes (paper Fig. 2): grant the hit at this level's latency
     // but still send the miss through the MSHRs so bandwidth is charged.
-    const bool idealHit =
-        (params_.idealTranslations && req->isLeafTranslation()) ||
-        (params_.idealReplays && req->isDemand() && req->isReplay);
+    // A re-entering request already received its grant on first entry
+    // (complete() is idempotent anyway).
+    const bool idealHit = countStats &&
+        ((params_.idealTranslations && req->isLeafTranslation()) ||
+         (params_.idealReplays && req->isDemand() && req->isReplay));
     if (idealHit) {
         ++stats_.idealGrants;
         req->complete(eq_.now(),
@@ -147,9 +154,14 @@ Cache::handleMiss(const MemRequestPtr &req, const AccessInfo &ai)
         ++stats_.mshrMerges;
         if (req->type != ReqType::Prefetch) {
             // A demand merging into a prefetch-initiated MSHR is a late
-            // prefetch: partially hidden latency.
-            if (e.prefetchOnly)
+            // prefetch: partially hidden latency. The fill is no longer
+            // a prefetch fill, so drop the origin — otherwise the data
+            // prefetcher would still train on it via onPrefetchFill and
+            // pollute its accuracy feedback.
+            if (e.prefetchOnly) {
                 ++stats_.prefetchLate;
+                e.origin = PrefetchOrigin::None;
+            }
             e.prefetchOnly = false;
             e.demandWaiting = true;
             // Reclassify the eventual fill with the demand's identity so
@@ -313,7 +325,11 @@ Cache::drainPending()
            mshrs_.size() < params_.mshrs) {
         MemRequestPtr req = pending_.front();
         pending_.pop_front();
-        handleMiss(req, accessInfoFor(*req));
+        // Re-enter through lookup, not handleMiss: the fill that freed
+        // this MSHR may have installed the very line this request wants
+        // (two demands to one block can both sit in pending_), and
+        // re-injecting at handleMiss would re-fetch and re-install it.
+        lookup(req, /*countStats=*/false);
     }
 }
 

@@ -156,7 +156,9 @@ class Cache : public MemDevice, public PrefetchIssuer
         PrefetchOrigin origin = PrefetchOrigin::None;
     };
 
-    void lookup(const MemRequestPtr &req);
+    /** @p countStats is false when a request re-enters lookup after
+     *  waiting in pending_: its access/miss was counted on first entry. */
+    void lookup(const MemRequestPtr &req, bool countStats = true);
     void handleMiss(const MemRequestPtr &req, const AccessInfo &ai);
     void forwardMiss(Addr blockAddr);
     void handleFill(Addr blockAddr, RespSource src);

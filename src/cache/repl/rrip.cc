@@ -1,5 +1,7 @@
 #include "cache/repl/rrip.hh"
 
+#include <algorithm>
+
 namespace tacsim {
 
 RripBase::RripBase(std::uint32_t sets, std::uint32_t ways, ReplOpts opts)
@@ -67,20 +69,26 @@ DrripPolicy::DrripPolicy(std::uint32_t sets, std::uint32_t ways,
     : RripBase(sets, ways, opts), rng_(seed)
 {
     // Spread the leader sets evenly: sets [k*stride] lead for SRRIP,
-    // [k*stride + stride/2] for BRRIP.
-    leaderStride_ = sets_ >= 2 * kLeaderSets ? sets_ / kLeaderSets : 2;
+    // [k*stride + stride/2] for BRRIP. Cap the leader count at sets/4
+    // per policy so at least half the sets stay followers — otherwise a
+    // small cache (sets < 2*kLeaderSets) would make every set a leader
+    // and PSEL would steer nothing. Caches with fewer than 4 sets run
+    // with no leaders at all (pure SRRIP insertion at the PSEL default).
+    const std::uint32_t leaders =
+        std::min<std::uint32_t>(kLeaderSets, sets_ / 4);
+    leaderStride_ = leaders ? sets_ / leaders : 0;
 }
 
 bool
 DrripPolicy::isSrripLeader(std::uint32_t set) const
 {
-    return set % leaderStride_ == 0;
+    return leaderStride_ && set % leaderStride_ == 0;
 }
 
 bool
 DrripPolicy::isBrripLeader(std::uint32_t set) const
 {
-    return set % leaderStride_ == leaderStride_ / 2;
+    return leaderStride_ && set % leaderStride_ == leaderStride_ / 2;
 }
 
 void

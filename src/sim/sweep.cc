@@ -1,0 +1,321 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace tacsim {
+
+namespace {
+
+/** Minimal JSON string escape (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** NaN-safe number formatting: JSON has no NaN, emit null. */
+std::string
+jsonNumber(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : threads_(jobs ? jobs : defaultJobs())
+{}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *v = std::getenv("TACSIM_JOBS")) {
+        const unsigned long parsed = std::strtoul(v, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+SweepRunner::addJob(Job job)
+{
+    auto it = index_.find(job.key);
+    if (it != index_.end())
+        return it->second; // memoized: first registration wins
+    const std::size_t idx = jobs_.size();
+    index_.emplace(job.key, idx);
+    jobs_.push_back(std::move(job));
+    return idx;
+}
+
+std::size_t
+SweepRunner::add(const std::string &key, const SystemConfig &cfg,
+                 Benchmark b, std::uint64_t instructions,
+                 std::uint64_t warmup)
+{
+    std::vector<Benchmark> mix(cfg.threads(), b);
+    return addMix(key, cfg, std::move(mix), instructions, warmup);
+}
+
+std::size_t
+SweepRunner::addMix(const std::string &key, const SystemConfig &cfg,
+                    std::vector<Benchmark> mix,
+                    std::uint64_t instructions, std::uint64_t warmup)
+{
+    Job job;
+    job.key = key;
+    // Resolve the budgets now so the JSON metadata records what actually
+    // ran (runMix would apply the same defaults internally).
+    job.instructions = instructions ? instructions : defaultInstructions();
+    job.warmup = warmup ? warmup : defaultWarmup();
+    job.seed = cfg.seed;
+    for (std::size_t t = 0; t < mix.size(); ++t) {
+        if (t)
+            job.benchmark += "-";
+        job.benchmark += benchmarkName(mix[t]);
+    }
+    job.fn = [cfg, mix = std::move(mix), instr = job.instructions,
+              warm = job.warmup] {
+        return runMix(cfg, mix, instr, warm);
+    };
+    return addJob(std::move(job));
+}
+
+std::size_t
+SweepRunner::addCustom(const std::string &key,
+                       std::function<RunResult()> fn)
+{
+    Job job;
+    job.key = key;
+    job.fn = std::move(fn);
+    return addJob(std::move(job));
+}
+
+void
+SweepRunner::execute(Job &job)
+{
+    SweepOutcome o;
+    o.key = job.key;
+    o.benchmark = job.benchmark;
+    o.instructions = job.instructions;
+    o.warmup = job.warmup;
+    o.seed = job.seed;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        o.result = job.fn();
+        o.ok = true;
+        if (o.benchmark.empty())
+            o.benchmark = o.result.benchmark;
+    } catch (const std::exception &e) {
+        o.error = e.what();
+    } catch (...) {
+        o.error = "unknown exception";
+    }
+    o.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    std::lock_guard<std::mutex> lk(mutex_);
+    job.done = true;
+    results_[job.key] = std::move(o);
+}
+
+void
+SweepRunner::run()
+{
+    std::vector<std::size_t> todo;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (std::size_t i = 0; i < jobs_.size(); ++i)
+            if (!jobs_[i].done)
+                todo.push_back(i);
+    }
+    if (todo.empty())
+        return;
+
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, todo.size());
+    if (workers <= 1) {
+        for (std::size_t idx : todo)
+            execute(jobs_[idx]);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([this, &todo, &next] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= todo.size())
+                    return;
+                execute(jobs_[todo[i]]);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+const RunResult &
+SweepRunner::result(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        auto it = results_.find(key);
+        if (it != results_.end()) {
+            if (!it->second.ok)
+                throw std::runtime_error("sweep point '" + key +
+                                         "' failed: " + it->second.error);
+            return it->second.result;
+        }
+    }
+    auto idx = index_.find(key);
+    if (idx == index_.end())
+        throw std::runtime_error("unknown sweep point '" + key + "'");
+    execute(jobs_[idx->second]);
+    std::lock_guard<std::mutex> lk(mutex_);
+    SweepOutcome &o = results_.at(key);
+    if (!o.ok)
+        throw std::runtime_error("sweep point '" + key +
+                                 "' failed: " + o.error);
+    return o.result;
+}
+
+const SweepOutcome *
+SweepRunner::outcome(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = results_.find(key);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SweepOutcome *>
+SweepRunner::outcomes() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<const SweepOutcome *> out;
+    out.reserve(jobs_.size());
+    for (const Job &j : jobs_) {
+        auto it = results_.find(j.key);
+        if (it != results_.end())
+            out.push_back(&it->second);
+    }
+    return out;
+}
+
+bool
+SweepRunner::writeJson(const std::string &path, const std::string &title,
+                       const std::vector<ReportRow> &rows) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"tacsim-sweep-v1\",\n");
+    std::fprintf(f, "  \"title\": \"%s\",\n", jsonEscape(title).c_str());
+    std::fprintf(f, "  \"jobs\": %u,\n", threads_);
+    std::fprintf(f, "  \"points\": %zu,\n", jobs_.size());
+
+    std::fprintf(f, "  \"rows\": [");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ReportRow &r = rows[i];
+        std::fprintf(f,
+                     "%s\n    {\"series\": \"%s\", \"label\": \"%s\", "
+                     "\"measured\": %s, \"paper\": %s, \"unit\": \"%s\"}",
+                     i ? "," : "", jsonEscape(r.series).c_str(),
+                     jsonEscape(r.label).c_str(),
+                     jsonNumber(r.measured).c_str(),
+                     jsonNumber(r.paper).c_str(),
+                     jsonEscape(r.unit).c_str());
+    }
+    std::fprintf(f, "\n  ],\n");
+
+    std::fprintf(f, "  \"runs\": [");
+    const auto all = outcomes();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const SweepOutcome &o = *all[i];
+        const std::string err =
+            o.ok ? "null" : "\"" + jsonEscape(o.error) + "\"";
+        std::fprintf(
+            f,
+            "%s\n    {\"key\": \"%s\", \"benchmark\": \"%s\", "
+            "\"instructions\": %llu, \"warmup\": %llu, \"seed\": %llu, "
+            "\"ok\": %s, \"wall_ms\": %s, \"cycles\": %llu, "
+            "\"ipc\": %s, \"error\": %s}",
+            i ? "," : "", jsonEscape(o.key).c_str(),
+            jsonEscape(o.benchmark).c_str(),
+            static_cast<unsigned long long>(o.instructions),
+            static_cast<unsigned long long>(o.warmup),
+            static_cast<unsigned long long>(o.seed),
+            o.ok ? "true" : "false", jsonNumber(o.wallMs).c_str(),
+            static_cast<unsigned long long>(o.ok ? o.result.cycles : 0),
+            jsonNumber(o.ok ? o.result.ipc : 0.0).c_str(),
+            err.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+
+    const bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+bool
+SweepRunner::writeJsonFromEnv(const std::string &title,
+                              const std::vector<ReportRow> &rows) const
+{
+    const char *path = std::getenv("TACSIM_JSON_OUT");
+    if (!path || !*path)
+        return false;
+    const bool ok = writeJson(path, title, rows);
+    if (ok)
+        std::fprintf(stderr, "tacsim: JSON report written to %s\n", path);
+    else
+        std::fprintf(stderr, "tacsim: failed to write JSON report to %s\n",
+                     path);
+    return ok;
+}
+
+SweepRunner &
+globalSweep()
+{
+    static SweepRunner runner;
+    return runner;
+}
+
+} // namespace tacsim

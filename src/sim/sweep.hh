@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parallel sweep runner: a registered job list of named simulation
+ * points executed across a std::thread pool, with a mutex-guarded
+ * result map, deterministic (registration-order) reporting independent
+ * of completion order, and per-job exception capture so one diverging
+ * configuration reports an error instead of killing the whole sweep.
+ *
+ * Every simulation point is an independent, deterministic System, so
+ * running them concurrently is safe and produces results identical to a
+ * serial run. The pool size comes from TACSIM_JOBS (default:
+ * hardware_concurrency).
+ *
+ * The runner doubles as the structured-results layer: writeJson() (or
+ * writeJsonFromEnv(), keyed on TACSIM_JSON_OUT) emits a machine-readable
+ * report with the series/label/measured/paper rows of the bench harness
+ * plus per-run metadata (config key, benchmark, instruction budgets,
+ * seed, wall time, errors).
+ */
+
+#ifndef TACSIM_SIM_SWEEP_HH
+#define TACSIM_SIM_SWEEP_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace tacsim {
+
+/** One row of a paper-vs-measured report. */
+struct ReportRow
+{
+    std::string series;  ///< e.g. "T-SHiP"
+    std::string label;   ///< e.g. benchmark name
+    double measured = 0;
+    double paper = std::nan(""); ///< NaN when the paper gives no number
+    std::string unit;
+};
+
+/** Outcome of one sweep point (success or captured failure). */
+struct SweepOutcome
+{
+    std::string key;
+    bool ok = false;
+    RunResult result;   ///< valid only when ok
+    std::string error;  ///< exception text when !ok
+    double wallMs = 0;  ///< wall time of this point's simulation
+
+    // Job metadata echoed for the JSON report.
+    std::string benchmark;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Two-phase sweep executor: add() points, run() them across the pool,
+ * then read result()/outcome() in any order. add() of an already-known
+ * key is a no-op (memoization), and result() of a registered-but-unrun
+ * key executes it on demand, so lazy serial callers keep working.
+ */
+class SweepRunner
+{
+  public:
+    /** @p jobs 0 selects defaultJobs() (TACSIM_JOBS / hw concurrency). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Register one benchmark point (0 budgets = runner defaults). */
+    std::size_t add(const std::string &key, const SystemConfig &cfg,
+                    Benchmark b, std::uint64_t instructions = 0,
+                    std::uint64_t warmup = 0);
+
+    /** Register a multi-thread mix point (one benchmark per thread). */
+    std::size_t addMix(const std::string &key, const SystemConfig &cfg,
+                       std::vector<Benchmark> mix,
+                       std::uint64_t instructions = 0,
+                       std::uint64_t warmup = 0);
+
+    /** Register an arbitrary job (custom sweeps, tests). */
+    std::size_t addCustom(const std::string &key,
+                          std::function<RunResult()> fn);
+
+    /** Execute every registered-but-unrun point across the pool. */
+    void run();
+
+    /**
+     * Result for @p key; executes the point serially if it has not run
+     * yet. Throws std::runtime_error for unknown keys and for points
+     * whose job failed (re-raising the captured error).
+     */
+    const RunResult &result(const std::string &key);
+
+    /** Outcome (including captured failures); nullptr if unknown or not
+     *  yet run. */
+    const SweepOutcome *outcome(const std::string &key) const;
+
+    /** All completed outcomes, in registration order. */
+    std::vector<const SweepOutcome *> outcomes() const;
+
+    std::size_t points() const { return jobs_.size(); }
+    unsigned threadCount() const { return threads_; }
+
+    /** TACSIM_JOBS env var if set (>0), else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+    /** Write the JSON report to @p path; false on I/O failure. */
+    bool writeJson(const std::string &path, const std::string &title,
+                   const std::vector<ReportRow> &rows) const;
+
+    /** writeJson() to $TACSIM_JSON_OUT; false when unset or on I/O
+     *  failure. */
+    bool writeJsonFromEnv(const std::string &title,
+                          const std::vector<ReportRow> &rows) const;
+
+  private:
+    struct Job
+    {
+        std::string key;
+        std::function<RunResult()> fn;
+        std::string benchmark; ///< "-"-joined mix name ("" for custom)
+        std::uint64_t instructions = 0, warmup = 0, seed = 0;
+        bool done = false;
+    };
+
+    std::size_t addJob(Job job);
+    void execute(Job &job);
+
+    unsigned threads_;
+    std::vector<Job> jobs_;
+    std::unordered_map<std::string, std::size_t> index_;
+    mutable std::mutex mutex_; ///< guards results_ and Job::done
+    std::unordered_map<std::string, SweepOutcome> results_;
+};
+
+/** Process-wide runner shared by the bench harness. */
+SweepRunner &globalSweep();
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_SWEEP_HH

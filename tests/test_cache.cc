@@ -289,6 +289,84 @@ TEST_F(CacheTest, LateMergedDemandReclassifiesFill)
     EXPECT_TRUE(found);
 }
 
+TEST_F(CacheTest, DrainedDemandDoesNotRefetchResidentLine)
+{
+    auto p = smallParams();
+    p.mshrs = 1; // a single in-flight miss saturates the MSHRs
+    auto c = makeCache(p);
+
+    // Y occupies the only MSHR; its fill is in flight in the mock.
+    auto y = makeLoad(0x20000);
+    c->access(y);
+    eq.advanceTo(eq.now() + 6); // past lookup; Y waits on the mock
+
+    // Two demands to the same block X queue in pending_ while the MSHRs
+    // are full (X1 gets no MSHR, so X2 cannot merge with it).
+    auto x1 = makeLoad(0x30000);
+    auto x2 = makeLoad(0x30010); // same 64B block as X1
+    int completions = 0;
+    x1->onComplete = [&](MemRequest &) { ++completions; };
+    x2->onComplete = [&](MemRequest &) { ++completions; };
+    c->access(x1);
+    c->access(x2);
+    test::drain(eq);
+
+    // Y's fill drains X1 (fetches X); X's fill drains X2, which must
+    // see the just-installed line and complete as a hit — not re-fetch
+    // and re-install it.
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(x2->source, RespSource::L1D);
+    std::size_t fetchesOfX = 0;
+    for (const auto &r : lower.requests)
+        fetchesOfX += r->blockAddr() == blockAlign(Addr{0x30000});
+    EXPECT_EQ(fetchesOfX, 1u);
+    EXPECT_EQ(c->stats().fills, 2u); // Y and X, once each
+    // The queued demands were counted once at first lookup, not again
+    // on drain.
+    const auto cat = std::size_t(BlockCat::NonReplay);
+    EXPECT_EQ(c->stats().accesses[cat], 3u);
+    EXPECT_EQ(c->stats().misses[cat], 3u);
+    EXPECT_GT(c->stats().mshrFullEvents, 0u);
+}
+
+namespace {
+
+/** Prefetcher spy: counts onPrefetchFill notifications. */
+struct SpyPrefetcher : Prefetcher
+{
+    void onAccess(const AccessInfo &, bool) override {}
+    void onPrefetchFill(Addr) override { ++fills; }
+    std::string name() const override { return "spy"; }
+    int fills = 0;
+};
+
+} // namespace
+
+TEST_F(CacheTest, DemandMergeIntoPrefetchMshrStopsPrefetcherTraining)
+{
+    auto p = smallParams();
+    auto spy = std::make_unique<SpyPrefetcher>();
+    SpyPrefetcher *spyPtr = spy.get();
+    auto c = std::make_unique<Cache>(
+        p, eq, &lower, makePolicy(PolicyKind::LRU, p.sets, p.ways),
+        std::move(spy));
+
+    // Control: an unmerged prefetch fill trains the prefetcher.
+    c->issuePrefetch(0x40000, PrefetchOrigin::DataPrefetcher, 0);
+    test::drain(eq);
+    EXPECT_EQ(spyPtr->fills, 1);
+
+    // A demand merging into an in-flight prefetch reclassifies the fill
+    // as a demand fill: the prefetcher must not train on it.
+    c->issuePrefetch(0x50000, PrefetchOrigin::DataPrefetcher, 0);
+    eq.advanceTo(eq.now() + 1);
+    auto d = makeLoad(0x50000);
+    c->access(d);
+    test::drain(eq);
+    EXPECT_EQ(c->stats().prefetchLate, 1u);
+    EXPECT_EQ(spyPtr->fills, 1); // unchanged
+}
+
 TEST_F(CacheTest, StatsAccountingConsistent)
 {
     auto c = makeCache(smallParams());

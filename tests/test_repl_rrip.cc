@@ -92,6 +92,38 @@ TEST(Drrip, LeaderSetsAreDisjoint)
     EXPECT_EQ(brrip, DrripPolicy::kLeaderSets);
 }
 
+TEST(Drrip, SmallCacheKeepsFollowerSets)
+{
+    // 16 sets < 2*kLeaderSets used to make every even set an SRRIP
+    // leader and every odd set a BRRIP leader, leaving zero followers
+    // for PSEL to steer. Leaders are now capped at sets/4 per policy.
+    DrripPolicy p(16, 4, {}, 1);
+    unsigned srrip = 0, brrip = 0, followers = 0;
+    for (std::uint32_t s = 0; s < 16; ++s) {
+        EXPECT_FALSE(p.isSrripLeader(s) && p.isBrripLeader(s));
+        srrip += p.isSrripLeader(s);
+        brrip += p.isBrripLeader(s);
+        followers += !p.isSrripLeader(s) && !p.isBrripLeader(s);
+    }
+    EXPECT_GT(srrip, 0u);
+    EXPECT_EQ(srrip, brrip);
+    EXPECT_LE(srrip, 4u); // at most sets/4 per policy
+    EXPECT_GE(followers, 8u); // at least half the sets follow PSEL
+}
+
+TEST(Drrip, TinyCacheRunsWithoutLeaders)
+{
+    // Fewer than 4 sets: no leaders at all; insertion must still work
+    // (pure SRRIP at the PSEL default) without dividing by zero.
+    DrripPolicy p(2, 4, {}, 1);
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        EXPECT_FALSE(p.isSrripLeader(s));
+        EXPECT_FALSE(p.isBrripLeader(s));
+    }
+    p.onFill(0, 0, dataAccess());
+    EXPECT_EQ(p.rrpv(0, 0), RripBase::kMaxRrpv - 1); // SRRIP insertion
+}
+
 TEST(Drrip, PselMovesWithLeaderMisses)
 {
     DrripPolicy p(1024, 16, {}, 1);

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: determinism under parallelism
+ * (parallel results identical to a serial run), per-job exception
+ * capture, registration-order reporting, memoization, TACSIM_JOBS
+ * parsing and the JSON report writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/sweep.hh"
+
+namespace tacsim {
+namespace {
+
+constexpr std::uint64_t kInstr = 20000;
+constexpr std::uint64_t kWarm = 5000;
+
+/** Register the same deterministic 4-point sweep on @p sw. */
+void
+addPoints(SweepRunner &sw)
+{
+    const Benchmark bs[] = {Benchmark::pr, Benchmark::mcf,
+                            Benchmark::canneal, Benchmark::xalancbmk};
+    int i = 0;
+    for (Benchmark b : bs) {
+        SystemConfig cfg;
+        cfg.seed = 7 + i;
+        sw.add("p" + std::to_string(i), cfg, b, kInstr, kWarm);
+        ++i;
+    }
+}
+
+/** Field-by-field identity of everything a report could consume. */
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.stlbMpki, b.stlbMpki);
+    EXPECT_EQ(a.l2ReplayMpki, b.l2ReplayMpki);
+    EXPECT_EQ(a.llcReplayMpki, b.llcReplayMpki);
+    EXPECT_EQ(a.llcPtl1Mpki, b.llcPtl1Mpki);
+    EXPECT_EQ(a.stallT, b.stallT);
+    EXPECT_EQ(a.stallR, b.stallR);
+    EXPECT_EQ(a.stallN, b.stallN);
+    EXPECT_EQ(a.threadCycles, b.threadCycles);
+    EXPECT_EQ(a.threadInstructions, b.threadInstructions);
+}
+
+TEST(Sweep, ParallelMatchesSerial)
+{
+    SweepRunner serial(1);
+    SweepRunner parallel(2);
+    addPoints(serial);
+    addPoints(parallel);
+    serial.run();
+    parallel.run();
+    for (int i = 0; i < 4; ++i) {
+        const std::string key = "p" + std::to_string(i);
+        SCOPED_TRACE(key);
+        expectSameResult(serial.result(key), parallel.result(key));
+    }
+}
+
+TEST(Sweep, ThrowingJobIsReportedWithoutAbortingTheSweep)
+{
+    SweepRunner sw(2);
+    sw.addCustom("boom", []() -> RunResult {
+        throw std::runtime_error("diverged");
+    });
+    SystemConfig cfg;
+    sw.add("ok", cfg, Benchmark::pr, kInstr, kWarm);
+    sw.run();
+
+    const SweepOutcome *bad = sw.outcome("boom");
+    ASSERT_NE(bad, nullptr);
+    EXPECT_FALSE(bad->ok);
+    EXPECT_NE(bad->error.find("diverged"), std::string::npos);
+    EXPECT_THROW(sw.result("boom"), std::runtime_error);
+
+    const SweepOutcome *good = sw.outcome("ok");
+    ASSERT_NE(good, nullptr);
+    EXPECT_TRUE(good->ok);
+    EXPECT_GT(sw.result("ok").instructions, 0u);
+}
+
+TEST(Sweep, OutcomesFollowRegistrationOrder)
+{
+    SweepRunner sw(4);
+    addPoints(sw);
+    sw.run();
+    const auto all = sw.outcomes();
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(all[i]->key, "p" + std::to_string(i));
+}
+
+TEST(Sweep, AddIsMemoizedAndResultRunsOnDemand)
+{
+    SweepRunner sw(2);
+    int calls = 0;
+    sw.addCustom("job", [&calls] {
+        ++calls;
+        RunResult r;
+        r.benchmark = "stub";
+        r.instructions = 1;
+        return r;
+    });
+    sw.addCustom("job", [&calls] { // duplicate key: first wins
+        ++calls;
+        return RunResult{};
+    });
+    EXPECT_EQ(sw.points(), 1u);
+    // result() without run() executes lazily, exactly once.
+    EXPECT_EQ(sw.result("job").benchmark, "stub");
+    sw.run(); // already done: no re-execution
+    EXPECT_EQ(sw.result("job").instructions, 1u);
+    EXPECT_EQ(calls, 1);
+    EXPECT_THROW(sw.result("unknown"), std::runtime_error);
+}
+
+TEST(Sweep, DefaultJobsReadsEnv)
+{
+    ::setenv("TACSIM_JOBS", "3", 1);
+    EXPECT_EQ(SweepRunner::defaultJobs(), 3u);
+    ::setenv("TACSIM_JOBS", "0", 1); // invalid: falls back to hardware
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+    ::unsetenv("TACSIM_JOBS");
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+}
+
+TEST(Sweep, JsonReportIsWrittenAndWellFormed)
+{
+    SweepRunner sw(2);
+    sw.addCustom("good \"quoted\"", [] {
+        RunResult r;
+        r.benchmark = "stub";
+        r.instructions = 5;
+        r.cycles = 10;
+        r.ipc = 0.5;
+        return r;
+    });
+    sw.addCustom("bad", []() -> RunResult {
+        throw std::runtime_error("exploded \"here\"");
+    });
+    sw.run();
+
+    std::vector<ReportRow> rows;
+    rows.push_back({"series-a", "label-1", 1.5, 2.5, "%"});
+    rows.push_back({"series-b", "label-2", 0.25, std::nan(""), "IPC"});
+
+    const std::string path = ::testing::TempDir() + "tacsim_sweep.json";
+    ASSERT_TRUE(sw.writeJson(path, "unit \"test\"", rows));
+
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+
+    EXPECT_NE(text.find("\"schema\": \"tacsim-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"title\": \"unit \\\"test\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"measured\": 1.5"), std::string::npos);
+    // NaN paper values must serialize as null, never bare nan.
+    EXPECT_NE(text.find("\"paper\": null"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    // Both runs present, with the failure captured and escaped.
+    EXPECT_NE(text.find("\"key\": \"good \\\"quoted\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(text.find("exploded \\\"here\\\""), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, MixPointsRunThroughThePool)
+{
+    SweepRunner sw(2);
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    sw.addMix("mix", cfg, {Benchmark::pr, Benchmark::mcf}, kInstr, kWarm);
+    sw.run();
+    const RunResult &r = sw.result("mix");
+    EXPECT_EQ(r.benchmark, "pr-mcf");
+    EXPECT_EQ(r.threadCycles.size(), 2u);
+}
+
+} // namespace
+} // namespace tacsim
