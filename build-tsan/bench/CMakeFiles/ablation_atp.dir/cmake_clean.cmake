@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atp.dir/ablation_atp.cc.o"
+  "CMakeFiles/ablation_atp.dir/ablation_atp.cc.o.d"
+  "ablation_atp"
+  "ablation_atp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_walker.dir/ablation_walker.cc.o"
+  "CMakeFiles/ablation_walker.dir/ablation_walker.cc.o.d"
+  "ablation_walker"
+  "ablation_walker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

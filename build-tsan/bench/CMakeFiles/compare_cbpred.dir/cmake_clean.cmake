@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_cbpred.dir/compare_cbpred.cc.o"
+  "CMakeFiles/compare_cbpred.dir/compare_cbpred.cc.o.d"
+  "compare_cbpred"
+  "compare_cbpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_cbpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_csalt.dir/compare_csalt.cc.o"
+  "CMakeFiles/compare_csalt.dir/compare_csalt.cc.o.d"
+  "compare_csalt"
+  "compare_csalt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_csalt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rob_stalls.dir/fig01_rob_stalls.cc.o"
+  "CMakeFiles/fig01_rob_stalls.dir/fig01_rob_stalls.cc.o.d"
+  "fig01_rob_stalls"
+  "fig01_rob_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rob_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ideal_caches.dir/fig02_ideal_caches.cc.o"
+  "CMakeFiles/fig02_ideal_caches.dir/fig02_ideal_caches.cc.o.d"
+  "fig02_ideal_caches"
+  "fig02_ideal_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ideal_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

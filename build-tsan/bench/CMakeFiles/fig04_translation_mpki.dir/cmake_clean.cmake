@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_translation_mpki.dir/fig04_translation_mpki.cc.o"
+  "CMakeFiles/fig04_translation_mpki.dir/fig04_translation_mpki.cc.o.d"
+  "fig04_translation_mpki"
+  "fig04_translation_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_translation_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

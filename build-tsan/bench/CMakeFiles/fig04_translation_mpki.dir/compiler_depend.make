@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_translation_mpki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_recall_translation.dir/fig05_recall_translation.cc.o"
+  "CMakeFiles/fig05_recall_translation.dir/fig05_recall_translation.cc.o.d"
+  "fig05_recall_translation"
+  "fig05_recall_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_recall_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

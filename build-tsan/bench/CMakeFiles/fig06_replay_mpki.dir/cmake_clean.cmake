@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_replay_mpki.dir/fig06_replay_mpki.cc.o"
+  "CMakeFiles/fig06_replay_mpki.dir/fig06_replay_mpki.cc.o.d"
+  "fig06_replay_mpki"
+  "fig06_replay_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_replay_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

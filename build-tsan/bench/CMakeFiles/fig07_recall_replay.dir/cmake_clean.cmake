@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_recall_replay.dir/fig07_recall_replay.cc.o"
+  "CMakeFiles/fig07_recall_replay.dir/fig07_recall_replay.cc.o.d"
+  "fig07_recall_replay"
+  "fig07_recall_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_recall_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_recall_replay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_prefetcher_replay.dir/fig08_prefetcher_replay.cc.o"
+  "CMakeFiles/fig08_prefetcher_replay.dir/fig08_prefetcher_replay.cc.o.d"
+  "fig08_prefetcher_replay"
+  "fig08_prefetcher_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_prefetcher_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_newsign.dir/fig12_newsign.cc.o"
+  "CMakeFiles/fig12_newsign.dir/fig12_newsign.cc.o.d"
+  "fig12_newsign"
+  "fig12_newsign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_newsign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

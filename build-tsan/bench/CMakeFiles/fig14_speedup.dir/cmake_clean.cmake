@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_speedup.dir/fig14_speedup.cc.o"
+  "CMakeFiles/fig14_speedup.dir/fig14_speedup.cc.o.d"
+  "fig14_speedup"
+  "fig14_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

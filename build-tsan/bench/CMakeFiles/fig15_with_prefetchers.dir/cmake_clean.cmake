@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_with_prefetchers.dir/fig15_with_prefetchers.cc.o"
+  "CMakeFiles/fig15_with_prefetchers.dir/fig15_with_prefetchers.cc.o.d"
+  "fig15_with_prefetchers"
+  "fig15_with_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_with_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_with_prefetchers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stall_reduction.dir/fig16_stall_reduction.cc.o"
+  "CMakeFiles/fig16_stall_reduction.dir/fig16_stall_reduction.cc.o.d"
+  "fig16_stall_reduction"
+  "fig16_stall_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stall_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_smt.dir/fig17_smt.cc.o"
+  "CMakeFiles/fig17_smt.dir/fig17_smt.cc.o.d"
+  "fig17_smt"
+  "fig17_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

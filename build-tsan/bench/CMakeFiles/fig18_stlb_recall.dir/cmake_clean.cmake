@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_stlb_recall.dir/fig18_stlb_recall.cc.o"
+  "CMakeFiles/fig18_stlb_recall.dir/fig18_stlb_recall.cc.o.d"
+  "fig18_stlb_recall"
+  "fig18_stlb_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_stlb_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

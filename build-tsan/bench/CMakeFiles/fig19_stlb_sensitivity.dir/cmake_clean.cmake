@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_stlb_sensitivity.dir/fig19_stlb_sensitivity.cc.o"
+  "CMakeFiles/fig19_stlb_sensitivity.dir/fig19_stlb_sensitivity.cc.o.d"
+  "fig19_stlb_sensitivity"
+  "fig19_stlb_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_stlb_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_l2c_sensitivity.dir/fig20_l2c_sensitivity.cc.o"
+  "CMakeFiles/fig20_l2c_sensitivity.dir/fig20_l2c_sensitivity.cc.o.d"
+  "fig20_l2c_sensitivity"
+  "fig20_l2c_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_l2c_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

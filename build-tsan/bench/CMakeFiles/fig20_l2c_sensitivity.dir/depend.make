@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_l2c_sensitivity.
+# This may be replaced when dependencies are built.

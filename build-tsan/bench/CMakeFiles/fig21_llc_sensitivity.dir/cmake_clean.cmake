@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_llc_sensitivity.dir/fig21_llc_sensitivity.cc.o"
+  "CMakeFiles/fig21_llc_sensitivity.dir/fig21_llc_sensitivity.cc.o.d"
+  "fig21_llc_sensitivity"
+  "fig21_llc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_llc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

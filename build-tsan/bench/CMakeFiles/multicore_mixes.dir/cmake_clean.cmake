@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_mixes.dir/multicore_mixes.cc.o"
+  "CMakeFiles/multicore_mixes.dir/multicore_mixes.cc.o.d"
+  "multicore_mixes"
+  "multicore_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

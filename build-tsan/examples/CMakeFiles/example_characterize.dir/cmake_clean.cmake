@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_characterize.dir/characterize.cc.o"
+  "CMakeFiles/example_characterize.dir/characterize.cc.o.d"
+  "example_characterize"
+  "example_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

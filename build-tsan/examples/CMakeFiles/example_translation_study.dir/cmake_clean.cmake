@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_translation_study.dir/translation_study.cc.o"
+  "CMakeFiles/example_translation_study.dir/translation_study.cc.o.d"
+  "example_translation_study"
+  "example_translation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_translation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/tacsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/repl/basic.cc" "src/CMakeFiles/tacsim.dir/cache/repl/basic.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/basic.cc.o.d"
+  "/root/repo/src/cache/repl/csalt.cc" "src/CMakeFiles/tacsim.dir/cache/repl/csalt.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/csalt.cc.o.d"
+  "/root/repo/src/cache/repl/deadblock.cc" "src/CMakeFiles/tacsim.dir/cache/repl/deadblock.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/deadblock.cc.o.d"
+  "/root/repo/src/cache/repl/factory.cc" "src/CMakeFiles/tacsim.dir/cache/repl/factory.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/factory.cc.o.d"
+  "/root/repo/src/cache/repl/hawkeye.cc" "src/CMakeFiles/tacsim.dir/cache/repl/hawkeye.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/hawkeye.cc.o.d"
+  "/root/repo/src/cache/repl/rrip.cc" "src/CMakeFiles/tacsim.dir/cache/repl/rrip.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/rrip.cc.o.d"
+  "/root/repo/src/cache/repl/ship.cc" "src/CMakeFiles/tacsim.dir/cache/repl/ship.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/cache/repl/ship.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/tacsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/core/core.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/tacsim.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/mem/dram.cc.o.d"
+  "/root/repo/src/prefetch/bingo.cc" "src/CMakeFiles/tacsim.dir/prefetch/bingo.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/bingo.cc.o.d"
+  "/root/repo/src/prefetch/factory.cc" "src/CMakeFiles/tacsim.dir/prefetch/factory.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/factory.cc.o.d"
+  "/root/repo/src/prefetch/ipcp.cc" "src/CMakeFiles/tacsim.dir/prefetch/ipcp.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/ipcp.cc.o.d"
+  "/root/repo/src/prefetch/isb.cc" "src/CMakeFiles/tacsim.dir/prefetch/isb.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/isb.cc.o.d"
+  "/root/repo/src/prefetch/simple.cc" "src/CMakeFiles/tacsim.dir/prefetch/simple.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/simple.cc.o.d"
+  "/root/repo/src/prefetch/spp.cc" "src/CMakeFiles/tacsim.dir/prefetch/spp.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/prefetch/spp.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/tacsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/tacsim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/tacsim.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/sweep.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/tacsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/vm/psc.cc" "src/CMakeFiles/tacsim.dir/vm/psc.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/vm/psc.cc.o.d"
+  "/root/repo/src/vm/ptw.cc" "src/CMakeFiles/tacsim.dir/vm/ptw.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/vm/ptw.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/tacsim.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/vm/tlb.cc.o.d"
+  "/root/repo/src/workloads/benchmarks.cc" "src/CMakeFiles/tacsim.dir/workloads/benchmarks.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/workloads/benchmarks.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/CMakeFiles/tacsim.dir/workloads/canneal.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/workloads/canneal.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/tacsim.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/CMakeFiles/tacsim.dir/workloads/mcf.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/workloads/mcf.cc.o.d"
+  "/root/repo/src/workloads/xalanc.cc" "src/CMakeFiles/tacsim.dir/workloads/xalanc.cc.o" "gcc" "src/CMakeFiles/tacsim.dir/workloads/xalanc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

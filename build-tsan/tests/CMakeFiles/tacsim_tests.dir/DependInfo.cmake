@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_belady_reference.cc" "tests/CMakeFiles/tacsim_tests.dir/test_belady_reference.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_belady_reference.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/tacsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/tacsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/tacsim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/tacsim_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/tacsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/tacsim_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/tacsim_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_prefetchers.cc" "tests/CMakeFiles/tacsim_tests.dir/test_prefetchers.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_prefetchers.cc.o.d"
+  "/root/repo/tests/test_psc.cc" "tests/CMakeFiles/tacsim_tests.dir/test_psc.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_psc.cc.o.d"
+  "/root/repo/tests/test_ptw.cc" "tests/CMakeFiles/tacsim_tests.dir/test_ptw.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_ptw.cc.o.d"
+  "/root/repo/tests/test_repl_hawkeye.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_hawkeye.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_hawkeye.cc.o.d"
+  "/root/repo/tests/test_repl_misc.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_misc.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_misc.cc.o.d"
+  "/root/repo/tests/test_repl_rrip.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_rrip.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_rrip.cc.o.d"
+  "/root/repo/tests/test_repl_ship.cc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_ship.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_repl_ship.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/tacsim_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/tacsim_tests.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_sweep.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/tacsim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/tacsim_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/tacsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/tacsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tacsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
