@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Static-analysis gate for tacsim:
+#   1. clang-tidy over src/ using .clang-tidy (skipped with a notice when
+#      clang-tidy is not installed, so the script stays usable in
+#      gcc-only containers).
+#   2. Source-level bans enforced with grep:
+#        - raw assert( in src/ — use TACSIM_CHECK (always on) or
+#          TACSIM_DCHECK (debug/verify builds) from common/types.hh so
+#          release builds keep their invariants;
+#        - #include <cassert> in src/, which would invite them back.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir (default: build) must contain compile_commands.json for
+#   the clang-tidy pass; pass 1 is skipped if it is missing.
+# Exits non-zero on any finding.
+
+set -u
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+status=0
+
+# ---------------------------------------------------------------- tidy --
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ -f "$build_dir/compile_commands.json" ]; then
+        echo "== clang-tidy (compile db: $build_dir) =="
+        mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+        if ! clang-tidy -p "$build_dir" --quiet "${sources[@]}"; then
+            status=1
+        fi
+    else
+        echo "!! no compile_commands.json in $build_dir — run cmake first;" \
+             "skipping clang-tidy pass"
+    fi
+else
+    echo "== clang-tidy not installed — skipping tidy pass =="
+fi
+
+# ------------------------------------------------------- banned idioms --
+echo "== banned-idiom scan (src/) =="
+
+# Raw assert( — matched as a word so static_assert stays legal;
+# comment-only lines (//, *) are exempt.
+raw_asserts="$(grep -rnE '(^|[^_[:alnum:]])assert\(' "$repo_root/src" \
+        --include='*.cc' --include='*.hh' |
+    grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*)' || true)"
+if [ -n "$raw_asserts" ]; then
+    printf '%s\n' "$raw_asserts"
+    echo "error: raw assert() in src/ — use TACSIM_CHECK / TACSIM_DCHECK" \
+         "(common/types.hh)" >&2
+    status=1
+fi
+
+if grep -rn '#include <cassert>' "$repo_root/src" \
+        --include='*.cc' --include='*.hh'; then
+    echo "error: <cassert> included in src/ — the TACSIM_CHECK macros" \
+         "replace it" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "lint: clean"
+else
+    echo "lint: FINDINGS (see above)" >&2
+fi
+exit "$status"

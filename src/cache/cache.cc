@@ -1,6 +1,9 @@
 #include "cache/cache.hh"
 
-#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -14,8 +17,8 @@ Cache::Cache(CacheParams params, EventQueue &eq, MemDevice *lower,
       prefetcher_(std::move(prefetcher)),
       blocks_(static_cast<std::size_t>(params_.sets) * params_.ways)
 {
-    assert((params_.sets & (params_.sets - 1)) == 0 &&
-           "set count must be a power of two");
+    TACSIM_CHECK((params_.sets & (params_.sets - 1)) == 0 &&
+                 "set count must be a power of two");
     if (prefetcher_)
         prefetcher_->setIssuer(this);
     if (params_.profileRecall)
@@ -245,7 +248,7 @@ void
 Cache::handleFill(Addr blockAddr, RespSource src)
 {
     auto it = mshrs_.find(blockAddr);
-    assert(it != mshrs_.end() && "fill without MSHR");
+    TACSIM_CHECK(it != mshrs_.end() && "fill without MSHR");
     MshrEntry entry = std::move(it->second);
     mshrs_.erase(it);
 
@@ -315,7 +318,14 @@ Cache::evictWay(std::uint32_t set, std::uint32_t way)
         wb->issuedAt = eq_.now();
         lower_->access(wb);
     }
+    // Clear all metadata, not just the valid bit: a replay/translation
+    // category or prefetch origin surviving eviction would silently
+    // mis-train the next policy decision in this frame.
     b.valid = false;
+    b.dirty = false;
+    b.reused = false;
+    b.cat = BlockCat::NonReplay;
+    b.prefetchOrigin = PrefetchOrigin::None;
 }
 
 void
@@ -353,6 +363,155 @@ Cache::issuePrefetch(Addr paddr, PrefetchOrigin origin, Addr ip)
     ++stats_.accesses[static_cast<std::size_t>(BlockCat::Prefetch)];
     ++stats_.misses[static_cast<std::size_t>(BlockCat::Prefetch)];
     handleMiss(req, ai);
+}
+
+namespace {
+
+std::string
+dumpBlock(const BlockMeta &b)
+{
+    std::ostringstream os;
+    os << std::hex << "tag=0x" << b.tag << std::dec
+       << " valid=" << b.valid << " dirty=" << b.dirty
+       << " reused=" << b.reused
+       << " cat=" << static_cast<int>(b.cat)
+       << " origin=" << static_cast<int>(b.prefetchOrigin)
+       << std::hex << " fillIp=0x" << b.fillIp;
+    return os.str();
+}
+
+} // namespace
+
+void
+Cache::checkInvariants() const
+{
+    using verify::InvariantViolation;
+    const std::string &who = params_.name;
+
+    // Per-class accounting: every counted access is either a hit or a
+    // miss, never both, never neither.
+    for (std::size_t cat = 0; cat < kNumBlockCats; ++cat) {
+        if (stats_.accesses[cat] != stats_.hits[cat] + stats_.misses[cat]) {
+            std::ostringstream os;
+            os << "class " << cat << ": accesses=" << stats_.accesses[cat]
+               << " != hits=" << stats_.hits[cat]
+               << " + misses=" << stats_.misses[cat];
+            throw InvariantViolation(who, "stats-accounting", os.str());
+        }
+    }
+
+    for (std::uint32_t set = 0; set < params_.sets; ++set) {
+        const std::size_t base =
+            static_cast<std::size_t>(set) * params_.ways;
+        for (std::uint32_t w = 0; w < params_.ways; ++w) {
+            const BlockMeta &b = blocks_[base + w];
+            if (!b.valid) {
+                // Eviction must wipe metadata; a replay category or
+                // prefetch origin surviving here would poison the next
+                // occupant's policy training.
+                if (b.dirty || b.reused ||
+                    b.cat != BlockCat::NonReplay ||
+                    b.prefetchOrigin != PrefetchOrigin::None)
+                    throw InvariantViolation(who, "stale-meta",
+                                             dumpBlock(b), set, w);
+                continue;
+            }
+            if (b.tag != blockAlign(b.tag))
+                throw InvariantViolation(who, "tag-align", dumpBlock(b),
+                                         set, w);
+            if (setIndex(b.tag) != set)
+                throw InvariantViolation(who, "tag-set-mismatch",
+                                         dumpBlock(b), set, w);
+            if (b.prefetchOrigin != PrefetchOrigin::None &&
+                b.cat != BlockCat::Prefetch)
+                throw InvariantViolation(who, "prefetch-origin",
+                                         dumpBlock(b), set, w);
+            for (std::uint32_t w2 = w + 1; w2 < params_.ways; ++w2) {
+                const BlockMeta &other = blocks_[base + w2];
+                if (other.valid && other.tag == b.tag) {
+                    std::ostringstream os;
+                    os << "ways " << w << " and " << w2
+                       << " both hold " << dumpBlock(b);
+                    throw InvariantViolation(who, "duplicate-tag",
+                                             os.str(), set, w2);
+                }
+            }
+        }
+    }
+
+    // MSHRs.
+    if (mshrs_.size() > params_.mshrs) {
+        std::ostringstream os;
+        os << mshrs_.size() << " entries live, " << params_.mshrs
+           << " provisioned";
+        throw InvariantViolation(who, "mshr-overflow", os.str());
+    }
+    for (const auto &[addr, e] : mshrs_) {
+        const std::uint32_t set = setIndex(addr);
+        std::ostringstream ctx;
+        ctx << std::hex << "mshr 0x" << addr << std::dec
+            << " waiters=" << e.waiters.size()
+            << " demandWaiting=" << e.demandWaiting
+            << " prefetchOnly=" << e.prefetchOnly
+            << " makeDirty=" << e.makeDirty
+            << " origin=" << static_cast<int>(e.origin);
+
+        if (addr != blockAlign(addr))
+            throw InvariantViolation(who, "mshr-align", ctx.str(), set);
+        if (findWay(set, addr) >= 0)
+            throw InvariantViolation(who, "mshr-resident", ctx.str(), set);
+        if (e.waiters.empty())
+            throw InvariantViolation(who, "mshr-waiters", ctx.str(), set);
+
+        bool anyDemand = false;
+        bool anyStore = false;
+        std::unordered_set<const MemRequest *> unique;
+        for (const auto &waiter : e.waiters) {
+            if (!unique.insert(waiter.get()).second)
+                throw InvariantViolation(who, "mshr-duplicate-waiter",
+                                         ctx.str(), set);
+            if (waiter->blockAddr() != addr)
+                throw InvariantViolation(who, "mshr-waiter-addr",
+                                         ctx.str(), set);
+            anyDemand |= waiter->type != ReqType::Prefetch;
+            anyStore |= waiter->type == ReqType::Store;
+        }
+        if (e.demandWaiting != anyDemand || e.prefetchOnly == anyDemand)
+            throw InvariantViolation(who, "mshr-demand-flag", ctx.str(),
+                                     set);
+        if (e.makeDirty != anyStore)
+            throw InvariantViolation(who, "mshr-dirty-flag", ctx.str(),
+                                     set);
+        // Origin bookkeeping: a fill a demand is waiting on must not
+        // train the prefetcher (PR 1's prefetch-origin leak); a pure
+        // prefetch must know who issued it.
+        if (e.demandWaiting && e.origin != PrefetchOrigin::None)
+            throw InvariantViolation(who, "mshr-origin", ctx.str(), set);
+        if (e.prefetchOnly && e.origin == PrefetchOrigin::None)
+            throw InvariantViolation(who, "mshr-origin", ctx.str(), set);
+        if (e.fillInfo.blockAddr != addr)
+            throw InvariantViolation(who, "mshr-fill-addr", ctx.str(),
+                                     set);
+        if (e.prefetchOnly != (e.fillInfo.cat == BlockCat::Prefetch))
+            throw InvariantViolation(who, "mshr-fill-class", ctx.str(),
+                                     set);
+    }
+
+    // Requests only queue while every MSHR is taken, and only demands
+    // (prefetches are dropped, not queued).
+    if (!pending_.empty() && mshrs_.size() != params_.mshrs) {
+        std::ostringstream os;
+        os << pending_.size() << " queued with only " << mshrs_.size()
+           << "/" << params_.mshrs << " MSHRs in use";
+        throw InvariantViolation(who, "pending-backlog", os.str());
+    }
+    for (const auto &req : pending_) {
+        if (req->type == ReqType::Prefetch)
+            throw InvariantViolation(who, "pending-class",
+                                     "prefetch parked in pending queue");
+    }
+
+    policy_->checkInvariants(who);
 }
 
 } // namespace tacsim

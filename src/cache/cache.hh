@@ -145,6 +145,22 @@ class Cache : public MemDevice, public PrefetchIssuer
         return blocks_[static_cast<std::size_t>(set) * params_.ways + way];
     }
 
+    /** Mutable block metadata — verifier tests use this to seed
+     *  deliberate corruption (duplicate tags, stale eviction metadata). */
+    BlockMeta &
+    blockAt(std::uint32_t set, std::uint32_t way)
+    {
+        return blocks_[static_cast<std::size_t>(set) * params_.ways + way];
+    }
+
+    /**
+     * Walk tags, MSHRs, the pending queue, per-class statistics and the
+     * replacement policy's state, throwing verify::InvariantViolation on
+     * the first structural inconsistency. Intended to be called at
+     * quiescent points (between run-loop iterations, at drain).
+     */
+    void checkInvariants() const;
+
   private:
     struct MshrEntry
     {

@@ -1,6 +1,9 @@
 #include "cache/repl/csalt.hh"
 
 #include <algorithm>
+#include <sstream>
+
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -111,6 +114,25 @@ CsaltPolicy::onEvict(std::uint32_t set, std::uint32_t way,
                      const BlockMeta &meta)
 {
     inner_->onEvict(set, way, meta);
+}
+
+void
+CsaltPolicy::checkInvariants(const std::string &owner) const
+{
+    const std::string who = owner + "/" + name();
+    if (quota_ < 1 || quota_ > ways_ - 1) {
+        std::ostringstream os;
+        os << "translation quota " << quota_ << " outside [1, "
+           << ways_ - 1 << "]";
+        throw verify::InvariantViolation(who, "quota-range", os.str());
+    }
+    if (epochAccesses_ >= kEpochAccesses) {
+        std::ostringstream os;
+        os << "epoch counter " << epochAccesses_
+           << " missed its rollover at " << kEpochAccesses;
+        throw verify::InvariantViolation(who, "epoch-rollover", os.str());
+    }
+    inner_->checkInvariants(owner);
 }
 
 std::string

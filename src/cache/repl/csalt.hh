@@ -37,6 +37,7 @@ class CsaltPolicy : public ReplPolicy
     void onEvict(std::uint32_t set, std::uint32_t way,
                  const BlockMeta &meta) override;
     std::string name() const override;
+    void checkInvariants(const std::string &owner) const override;
 
     /** Current translation way quota — exposed for tests. */
     std::uint32_t translationQuota() const { return quota_; }

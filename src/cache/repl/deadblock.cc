@@ -1,6 +1,9 @@
 #include "cache/repl/deadblock.hh"
 
+#include <sstream>
+
 #include "common/rng.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -76,6 +79,35 @@ DeadBlockPolicy::onEvict(std::uint32_t set, std::uint32_t way,
             ++c;
     }
     inner_->onEvict(set, way, meta);
+}
+
+void
+DeadBlockPolicy::checkInvariants(const std::string &owner) const
+{
+    const std::string who = owner + "/" + name();
+    for (std::uint32_t i = 0; i < kTableSize; ++i) {
+        if (deadCtr_[i] > kCtrMax) {
+            std::ostringstream os;
+            os << "deadCtr[" << i << "]=" << static_cast<int>(deadCtr_[i])
+               << " exceeds " << static_cast<int>(kCtrMax);
+            throw verify::InvariantViolation(who, "deadctr-range",
+                                             os.str());
+        }
+    }
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * ways_ + w;
+            if (blockIdx_[idx] >= kTableSize)
+                throw verify::InvariantViolation(
+                    who, "sig-range", "predictor index out of table",
+                    set, w);
+            if (blockReused_[idx] > 1)
+                throw verify::InvariantViolation(
+                    who, "outcome-range", "reuse bit not 0/1", set, w);
+        }
+    }
+    inner_->checkInvariants(owner);
 }
 
 std::string

@@ -43,6 +43,7 @@ class DeadBlockPolicy : public ReplPolicy
                  const BlockMeta &meta) override;
     bool bypassFill(std::uint32_t set, const AccessInfo &ai) override;
     std::string name() const override;
+    void checkInvariants(const std::string &owner) const override;
 
     std::uint64_t bypasses() const { return bypasses_; }
 

@@ -1,8 +1,10 @@
 #include "cache/repl/hawkeye.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/rng.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -187,6 +189,60 @@ void
 HawkeyePolicy::onEvict(std::uint32_t, std::uint32_t, const BlockMeta &)
 {
     // Detraining happens in victim(); nothing extra on eviction.
+}
+
+void
+HawkeyePolicy::checkInvariants(const std::string &owner) const
+{
+    const std::string who = owner + "/" + name();
+    for (std::uint32_t sig = 0; sig < kPredSize; ++sig) {
+        if (pred_[sig] > kCtrMax) {
+            std::ostringstream os;
+            os << "pred[" << sig << "]=" << static_cast<int>(pred_[sig])
+               << " exceeds " << static_cast<int>(kCtrMax);
+            throw verify::InvariantViolation(who, "pred-range", os.str());
+        }
+    }
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * ways_ + w;
+            if (rrpv_[idx] > kMaxRrpv) {
+                std::ostringstream os;
+                os << "rrpv=" << static_cast<int>(rrpv_[idx])
+                   << " exceeds max " << static_cast<int>(kMaxRrpv);
+                throw verify::InvariantViolation(who, "rrpv-range",
+                                                 os.str(), set, w);
+            }
+            if (blockSig_[idx] >= kPredSize)
+                throw verify::InvariantViolation(
+                    who, "sig-range", "training signature out of table",
+                    set, w);
+            if (blockFriendly_[idx] > 1)
+                throw verify::InvariantViolation(
+                    who, "friendly-range", "friendliness bit not 0/1",
+                    set, w);
+        }
+    }
+    for (const auto &[set, ss] : samples_) {
+        if (set >= sets_ || !isSampled(set)) {
+            std::ostringstream os;
+            os << "sampler holds non-sampled set " << set
+               << " (stride " << sampleStride_ << ")";
+            throw verify::InvariantViolation(who, "sample-set", os.str(),
+                                             set);
+        }
+        for (std::size_t i = 0; i < ss.occupancy.size(); ++i) {
+            if (ss.occupancy[i] > ways_) {
+                std::ostringstream os;
+                os << "occupancy[" << i << "]="
+                   << static_cast<int>(ss.occupancy[i])
+                   << " exceeds associativity " << ways_;
+                throw verify::InvariantViolation(who, "optgen-occupancy",
+                                                 os.str(), set);
+            }
+        }
+    }
 }
 
 std::string

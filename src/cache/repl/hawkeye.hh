@@ -44,6 +44,7 @@ class HawkeyePolicy : public ReplPolicy
     void onEvict(std::uint32_t set, std::uint32_t way,
                  const BlockMeta &meta) override;
     std::string name() const override;
+    void checkInvariants(const std::string &owner) const override;
 
     /** Predictor counter for a signature — exposed for tests. */
     std::uint8_t predictorCounter(std::uint32_t idx) const

@@ -86,6 +86,19 @@ class ReplPolicy
         return false;
     }
 
+    /**
+     * Verify the policy's internal metadata: replacement state within
+     * bounds (RRPVs, saturating counters), leader-set constituencies
+     * disjoint, per-block training state well-formed. @p owner is the
+     * owning cache's name, used to attribute violations. Throws
+     * verify::InvariantViolation on the first inconsistency; the default
+     * has nothing to verify.
+     */
+    virtual void checkInvariants(const std::string &owner) const
+    {
+        (void)owner;
+    }
+
     virtual std::string name() const = 0;
 
     std::uint32_t sets() const { return sets_; }

@@ -1,6 +1,9 @@
 #include "cache/repl/rrip.hh"
 
 #include <algorithm>
+#include <sstream>
+
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -29,6 +32,23 @@ void
 RripBase::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
 {
     setRrpv(set, way, 0);
+}
+
+void
+RripBase::checkInvariants(const std::string &owner) const
+{
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv(set, w) > kMaxRrpv) {
+                std::ostringstream os;
+                os << "rrpv=" << static_cast<int>(rrpv(set, w))
+                   << " exceeds max " << static_cast<int>(kMaxRrpv);
+                throw verify::InvariantViolation(owner + "/" + name(),
+                                                 "rrpv-range", os.str(),
+                                                 set, w);
+            }
+        }
+    }
 }
 
 std::uint8_t
@@ -115,6 +135,36 @@ DrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
     else
         base = kMaxRrpv - 1;
     setRrpv(set, way, overrideInsertion(ai, base));
+}
+
+void
+DrripPolicy::checkInvariants(const std::string &owner) const
+{
+    RripBase::checkInvariants(owner);
+    const std::string who = owner + "/" + name();
+    if (psel_ < 0 || psel_ > kPselMax) {
+        std::ostringstream os;
+        os << "psel=" << psel_ << " outside [0, " << kPselMax << "]";
+        throw verify::InvariantViolation(who, "psel-range", os.str());
+    }
+    std::uint32_t srrip = 0, brrip = 0;
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        const bool s = isSrripLeader(set);
+        const bool b = isBrripLeader(set);
+        if (s && b)
+            throw verify::InvariantViolation(
+                who, "leader-overlap",
+                "set leads for both SRRIP and BRRIP", set);
+        srrip += s;
+        brrip += b;
+    }
+    // The constructor caps leaders so at least half the sets follow.
+    if (srrip + brrip > sets_ / 2) {
+        std::ostringstream os;
+        os << srrip << "+" << brrip << " leader sets of " << sets_
+           << " leave fewer than half as followers";
+        throw verify::InvariantViolation(who, "leader-coverage", os.str());
+    }
 }
 
 std::string

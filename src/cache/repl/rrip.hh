@@ -33,6 +33,7 @@ class RripBase : public ReplPolicy
                          const BlockMeta *blocks) override;
     void onHit(std::uint32_t set, std::uint32_t way,
                const AccessInfo &ai) override;
+    void checkInvariants(const std::string &owner) const override;
 
     /** RRPV of (set, way) — exposed for tests. */
     std::uint8_t
@@ -103,6 +104,7 @@ class DrripPolicy : public RripBase
     void onFill(std::uint32_t set, std::uint32_t way,
                 const AccessInfo &ai) override;
     std::string name() const override;
+    void checkInvariants(const std::string &owner) const override;
 
     /** Exposed for tests. */
     int psel() const { return psel_; }

@@ -1,6 +1,9 @@
 #include "cache/repl/ship.hh"
 
+#include <sstream>
+
 #include "common/rng.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -70,6 +73,34 @@ ShipPolicy::onEvict(std::uint32_t set, std::uint32_t way,
         std::uint8_t &ctr = shct_[blockSig_[idx]];
         if (ctr > 0)
             --ctr;
+    }
+}
+
+void
+ShipPolicy::checkInvariants(const std::string &owner) const
+{
+    RripBase::checkInvariants(owner);
+    const std::string who = owner + "/" + name();
+    for (std::uint32_t sig = 0; sig < kShctSize; ++sig) {
+        if (shct_[sig] > kCounterMax) {
+            std::ostringstream os;
+            os << "shct[" << sig << "]=" << static_cast<int>(shct_[sig])
+               << " exceeds " << static_cast<int>(kCounterMax);
+            throw verify::InvariantViolation(who, "shct-range", os.str());
+        }
+    }
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * ways_ + w;
+            if (blockSig_[idx] >= kShctSize)
+                throw verify::InvariantViolation(
+                    who, "sig-range", "training signature out of table",
+                    set, w);
+            if (blockOutcome_[idx] > 1)
+                throw verify::InvariantViolation(
+                    who, "outcome-range", "outcome bit not 0/1", set, w);
+        }
     }
 }
 

@@ -41,6 +41,7 @@ class ShipPolicy : public RripBase
     void onEvict(std::uint32_t set, std::uint32_t way,
                  const BlockMeta &meta) override;
     std::string name() const override;
+    void checkInvariants(const std::string &owner) const override;
 
     /** Signature for an access — flag-extended when newSignatures is on.
      *  Exposed for tests. */

@@ -65,6 +65,10 @@ class EventQueue
         return heap_.empty() ? now_ : heap_.top().when;
     }
 
+    /** Total events executed since construction / reset(). The invariant
+     *  Checker paces its periodic hierarchy walks on this count. */
+    std::uint64_t executed() const { return executed_; }
+
     /**
      * Advance time to cycle @p target, running every event scheduled at or
      * before it. Events may schedule further events; those are run too if
@@ -78,6 +82,7 @@ class EventQueue
             Event ev = std::move(const_cast<Event &>(heap_.top()));
             heap_.pop();
             now_ = ev.when;
+            ++executed_;
             ev.cb();
         }
         if (target > now_)
@@ -93,6 +98,7 @@ class EventQueue
         Event ev = std::move(const_cast<Event &>(heap_.top()));
         heap_.pop();
         now_ = ev.when;
+        ++executed_;
         ev.cb();
         return true;
     }
@@ -104,6 +110,7 @@ class EventQueue
         heap_ = {};
         now_ = 0;
         seq_ = 0;
+        executed_ = 0;
     }
 
   private:
@@ -123,6 +130,7 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace tacsim

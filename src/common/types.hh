@@ -8,6 +8,44 @@
 #define TACSIM_COMMON_TYPES_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tacsim {
+namespace detail {
+
+[[noreturn]] inline void
+checkFailed(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "tacsim: check failed: %s (%s:%d)\n", expr, file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace tacsim
+
+/**
+ * TACSIM_CHECK: always-on structural check for cheap conditions (construction
+ * parameters, protocol steps that run at most once per miss). Unlike
+ * assert(), it survives NDEBUG builds, so release runs abort loudly instead
+ * of silently corrupting statistics. Write messages assert-style:
+ * TACSIM_CHECK(x == y && "reason").
+ */
+#define TACSIM_CHECK(expr)                                                   \
+    ((expr) ? static_cast<void>(0)                                           \
+            : tacsim::detail::checkFailed(#expr, __FILE__, __LINE__))
+
+/**
+ * TACSIM_DCHECK: per-access-rate check, compiled in when the verifier is
+ * enabled (-DTACSIM_VERIFY=ON) or in !NDEBUG builds, and free otherwise.
+ */
+#if defined(TACSIM_VERIFY_ENABLED) || !defined(NDEBUG)
+#define TACSIM_DCHECK(expr) TACSIM_CHECK(expr)
+#else
+#define TACSIM_DCHECK(expr) static_cast<void>(sizeof(!(expr)))
+#endif
 
 namespace tacsim {
 

@@ -1,7 +1,6 @@
 #include "core/core.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace tacsim {
 
@@ -71,7 +70,7 @@ void
 Core::retireHead()
 {
     RobEntry &h = head();
-    assert(h.complete);
+    TACSIM_DCHECK(h.complete);
     ++stats_.retired;
     if (h.kind == TraceRecord::Kind::Load)
         ++stats_.loads;

@@ -1,6 +1,9 @@
 #include "mem/dram.hh"
 
+#include <sstream>
+
 #include "common/rng.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -104,6 +107,49 @@ Dram::access(const MemRequestPtr &req)
     eq_.scheduleAt(doneAt, [keep, doneAt] {
         keep->complete(doneAt, RespSource::DRAM);
     });
+}
+
+void
+Dram::checkInvariants() const
+{
+    using verify::InvariantViolation;
+
+    if (channels_.size() != params_.channels) {
+        std::ostringstream os;
+        os << channels_.size() << " channels built, " << params_.channels
+           << " configured";
+        throw InvariantViolation(name_, "geometry", os.str());
+    }
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        const Channel &ch = channels_[c];
+        if (ch.banks.size() != params_.banksPerChannel) {
+            std::ostringstream os;
+            os << "channel " << c << " has " << ch.banks.size()
+               << " banks, " << params_.banksPerChannel << " configured";
+            throw InvariantViolation(name_, "geometry", os.str());
+        }
+        for (std::size_t b = 0; b < ch.banks.size(); ++b) {
+            const Bank &bank = ch.banks[b];
+            if (!bank.rowValid && bank.openRow != ~Addr{0}) {
+                std::ostringstream os;
+                os << "channel " << c << " bank " << b
+                   << " has no open row but openRow=0x" << std::hex
+                   << bank.openRow;
+                throw InvariantViolation(name_, "row-state", os.str());
+            }
+        }
+    }
+
+    // Every serviced line is exactly one of row hit / miss / conflict.
+    if (stats_.rowHits + stats_.rowMisses + stats_.rowConflicts !=
+        stats_.reads + stats_.writes) {
+        std::ostringstream os;
+        os << "rowHits=" << stats_.rowHits << " + rowMisses="
+           << stats_.rowMisses << " + rowConflicts="
+           << stats_.rowConflicts << " != reads=" << stats_.reads
+           << " + writes=" << stats_.writes;
+        throw InvariantViolation(name_, "row-conservation", os.str());
+    }
 }
 
 } // namespace tacsim

@@ -87,6 +87,11 @@ class Dram : public MemDevice
 
     const DramParams &params() const { return params_; }
 
+    /** Verify controller invariants: channel/bank geometry matches the
+     *  parameters, row-state accounting conserves requests, open-row
+     *  bookkeeping is coherent. Throws verify::InvariantViolation. */
+    void checkInvariants() const;
+
   private:
     struct Bank
     {

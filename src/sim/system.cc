@@ -1,10 +1,10 @@
 #include "sim/system.hh"
 
-#include <cassert>
 #include <stdexcept>
 
 #include "cache/repl/csalt.hh"
 #include "cache/repl/deadblock.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -27,8 +27,8 @@ System::System(SystemConfig cfg,
     : cfg_(cfg), workloads_(std::move(workloads))
 {
     const unsigned threads = cfg_.threads();
-    assert(workloads_.size() == threads &&
-           "need one workload per hardware thread");
+    TACSIM_CHECK(workloads_.size() == threads &&
+                 "need one workload per hardware thread");
 
     // Page tables: one address space per thread.
     for (unsigned t = 0; t < threads; ++t)
@@ -162,6 +162,13 @@ System::run(std::uint64_t instrPerThread)
 
     std::size_t remaining = n;
     while (remaining > 0) {
+#ifdef TACSIM_VERIFY_ENABLED
+        // Periodic hierarchy verification between scheduler iterations,
+        // where all components are quiescent. Compiled out (and thus
+        // genuinely free) unless -DTACSIM_VERIFY=ON.
+        if (checker_)
+            checker_->maybeCheck(eq_.executed());
+#endif
         eq_.advanceTo(cycle_);
 
         bool allBlocked = true;
@@ -193,6 +200,12 @@ System::run(std::uint64_t instrPerThread)
         }
         ++cycle_;
     }
+
+#ifdef TACSIM_VERIFY_ENABLED
+    // Drain point: the run target is met, no core mid-retire.
+    if (checker_)
+        checker_->onDrain();
+#endif
 }
 
 void

@@ -29,6 +29,10 @@
 
 namespace tacsim {
 
+namespace verify {
+class Checker;
+} // namespace verify
+
 class System
 {
   public:
@@ -81,6 +85,16 @@ class System
     /** Total instructions retired across threads since resetStats(). */
     std::uint64_t measuredInstructions() const;
 
+    /**
+     * Attach an invariant verifier. In TACSIM_VERIFY builds the run loop
+     * calls it back at its configured event interval and at the end of
+     * every run() (a drain point); other builds only keep the pointer so
+     * tests can invoke Checker::checkAll() explicitly. Pass nullptr to
+     * detach. The checker must outlive the system or be detached first.
+     */
+    void attachChecker(verify::Checker *checker) { checker_ = checker; }
+    verify::Checker *checker() const { return checker_; }
+
   private:
     std::unique_ptr<ReplPolicy> buildLlcPolicy(std::uint32_t sets,
                                                std::uint32_t ways) const;
@@ -105,6 +119,7 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
 
     std::vector<Cycle> finishCycle_;
+    verify::Checker *checker_ = nullptr;
 };
 
 } // namespace tacsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hierarchy-wide invariant verifier. The paper's mechanisms are
+ * cross-cutting metadata plumbing — PTE / replay / non-replay flags
+ * travelling from the page-table walker through two cache levels,
+ * replacement state and two prefetch paths — exactly the kind of state
+ * where a silent desync (a replay flag surviving eviction, a leaf-PTE
+ * block double-resident in a set) skews every downstream figure without
+ * failing a test.
+ *
+ * Every component exposes a checkInvariants() hook that walks its own
+ * state and throws InvariantViolation on the first inconsistency. The
+ * Checker ties them together: attached to a System it re-verifies the
+ * whole hierarchy at a configurable executed-event interval during
+ * System::run() (compiled in under -DTACSIM_VERIFY=ON; zero cost when
+ * off) and at drain points, plus whenever checkAll() is called
+ * explicitly — which works in every build type.
+ */
+
+#ifndef TACSIM_SIM_VERIFY_HH
+#define TACSIM_SIM_VERIFY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+class System;
+class Tlb;
+
+namespace verify {
+
+/**
+ * One structural inconsistency, carrying enough context to localize it:
+ * which component, which named invariant, where in the array (set/way,
+ * -1 when not applicable) and a free-form state dump.
+ *
+ * The invariant tags are stable strings (e.g. "duplicate-tag",
+ * "rrpv-range", "stale-meta") so tests can assert that a seeded
+ * corruption trips exactly the check it targets.
+ */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    InvariantViolation(std::string component, std::string invariant,
+                       std::string detail, std::int64_t set = -1,
+                       std::int64_t way = -1);
+
+    const std::string &component() const { return component_; }
+    const std::string &invariant() const { return invariant_; }
+    const std::string &detail() const { return detail_; }
+    std::int64_t set() const { return set_; }
+    std::int64_t way() const { return way_; }
+
+  private:
+    static std::string format(const std::string &component,
+                              const std::string &invariant,
+                              const std::string &detail, std::int64_t set,
+                              std::int64_t way);
+
+    std::string component_;
+    std::string invariant_;
+    std::string detail_;
+    std::int64_t set_;
+    std::int64_t way_;
+};
+
+/**
+ * Walks a System's full hierarchy asserting structural invariants:
+ * no duplicate tags within a set, replacement metadata within bounds,
+ * MSHR targets unique with consistent demand/prefetch origin flags,
+ * translation/replay block metadata cleared on eviction, TLB/PSC state
+ * consistent with the page table, DRRIP leader constituencies disjoint,
+ * and event-queue timestamps monotone.
+ *
+ * Attach with System::attachChecker(); System::run() then calls
+ * maybeCheck() each scheduler iteration (only in TACSIM_VERIFY builds)
+ * and onDrain() when a run completes. checkAll() may also be called
+ * directly at any quiescent point.
+ */
+class Checker
+{
+  public:
+    /**
+     * @param eventInterval re-verify after this many executed events
+     *        (0 = only at drain points / explicit calls).
+     */
+    explicit Checker(System &sys, std::uint64_t eventInterval = 100000);
+
+    /** Verify every component now. Throws InvariantViolation. */
+    void checkAll();
+
+    /** Periodic hook driven by the run loop's executed-event count. */
+    void maybeCheck(std::uint64_t eventsExecuted);
+
+    /** Drain-point hook: unconditional full check. */
+    void onDrain() { checkAll(); }
+
+    /** Number of full hierarchy verifications performed so far. */
+    std::uint64_t checksRun() const { return checks_; }
+
+    std::uint64_t eventInterval() const { return interval_; }
+
+  private:
+    void checkEventQueue() const;
+    void checkTlbAgainstPageTable(const Tlb &tlb) const;
+
+    System &sys_;
+    std::uint64_t interval_;
+    std::uint64_t lastCheckedAt_ = 0;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace verify
+} // namespace tacsim
+
+#endif // TACSIM_SIM_VERIFY_HH

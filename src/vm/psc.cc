@@ -1,5 +1,9 @@
 #include "vm/psc.hh"
 
+#include <sstream>
+
+#include "sim/verify.hh"
+
 namespace tacsim {
 
 PagingStructureCaches::PagingStructureCaches(
@@ -67,6 +71,36 @@ PagingStructureCaches::flush()
     for (auto &c : caches_)
         for (auto &e : c)
             e.valid = false;
+}
+
+void
+PagingStructureCaches::checkInvariants() const
+{
+    using verify::InvariantViolation;
+    for (unsigned level = 2; level <= kPtLevels; ++level) {
+        const auto &cache = caches_[level - 2];
+        const std::string who = "PSCL" + std::to_string(level);
+        for (std::size_t i = 0; i < cache.size(); ++i) {
+            const Entry &e = cache[i];
+            if (!e.valid)
+                continue;
+            std::ostringstream ctx;
+            ctx << std::hex << "tag=0x" << e.tag << " frame=0x" << e.frame
+                << std::dec << " lru=" << e.lru;
+            if (e.frame != pageAlign(e.frame))
+                throw InvariantViolation(who, "frame-align", ctx.str(),
+                                         static_cast<std::int64_t>(i));
+            if (e.lru == 0 || e.lru >= clock_)
+                throw InvariantViolation(who, "lru-clock", ctx.str(),
+                                         static_cast<std::int64_t>(i));
+            for (std::size_t j = i + 1; j < cache.size(); ++j) {
+                if (cache[j].valid && cache[j].tag == e.tag)
+                    throw InvariantViolation(
+                        who, "duplicate-tag", ctx.str(),
+                        static_cast<std::int64_t>(j));
+            }
+        }
+    }
 }
 
 } // namespace tacsim

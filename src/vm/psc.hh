@@ -61,6 +61,10 @@ class PagingStructureCaches
     void resetStats() { stats_.reset(); }
     void flush();
 
+    /** Verify per-PSC invariants: unique valid tags, LRU stamps behind
+     *  the clock, page-aligned frames. Throws verify::InvariantViolation. */
+    void checkInvariants() const;
+
     /** Tag for (asid, vaddr) at @p level — exposed for tests. */
     static std::uint64_t
     tagOf(std::uint16_t asid, Addr vaddr, unsigned level)

@@ -1,6 +1,8 @@
 #include "vm/ptw.hh"
 
-#include <cassert>
+#include <sstream>
+
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -32,6 +34,16 @@ PageTableWalker::walk(std::uint16_t asid, Addr vaddr, Addr ip,
         ++stats_.merged;
         it->second->callbacks.push_back(std::move(cb));
         return;
+    }
+    // A duplicate may also be waiting behind the concurrency limit; a
+    // second WalkState for the same key would later overwrite its
+    // inflight_ slot and desync active_ from the map.
+    for (auto &queued : queue_) {
+        if (keyOf(queued->asid, queued->vaddr) == key) {
+            ++stats_.merged;
+            queued->callbacks.push_back(std::move(cb));
+            return;
+        }
     }
 
     auto ws = std::make_unique<WalkState>();
@@ -74,7 +86,7 @@ PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
 void
 PageTableWalker::issueLevel(std::shared_ptr<WalkState> ws, unsigned level)
 {
-    assert(level >= 1 && level <= kPtLevels);
+    TACSIM_DCHECK(level >= 1 && level <= kPtLevels);
     ++stats_.levelReads[level - 1];
 
     auto req = std::make_shared<MemRequest>();
@@ -141,6 +153,44 @@ PageTableWalker::drainQueue()
         queue_.pop_front();
         startWalk(std::move(ws));
     }
+}
+
+void
+PageTableWalker::checkInvariants() const
+{
+    using verify::InvariantViolation;
+    const std::string who = "PTW";
+
+    if (active_ != inflight_.size()) {
+        std::ostringstream os;
+        os << "active=" << active_ << " but " << inflight_.size()
+           << " walks in flight";
+        throw InvariantViolation(who, "active-count", os.str());
+    }
+    if (active_ > params_.maxConcurrentWalks) {
+        std::ostringstream os;
+        os << "active=" << active_ << " exceeds bound "
+           << params_.maxConcurrentWalks;
+        throw InvariantViolation(who, "active-bound", os.str());
+    }
+    if (!queue_.empty() && active_ < params_.maxConcurrentWalks) {
+        std::ostringstream os;
+        os << queue_.size() << " walks queued with only " << active_
+           << "/" << params_.maxConcurrentWalks << " active";
+        throw InvariantViolation(who, "queue-backlog", os.str());
+    }
+    for (const auto &[key, ws] : inflight_) {
+        std::ostringstream ctx;
+        ctx << std::hex << "walk asid=" << ws->asid << " vaddr=0x"
+            << ws->vaddr << std::dec << " startLevel=" << ws->startLevel;
+        if (key != keyOf(ws->asid, ws->vaddr))
+            throw InvariantViolation(who, "inflight-key", ctx.str());
+        if (ws->callbacks.empty())
+            throw InvariantViolation(who, "walk-callbacks", ctx.str());
+        if (ws->startLevel < 1 || ws->startLevel > kPtLevels)
+            throw InvariantViolation(who, "level-range", ctx.str());
+    }
+    pscs_.checkInvariants();
 }
 
 } // namespace tacsim

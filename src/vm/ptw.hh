@@ -95,6 +95,14 @@ class PageTableWalker
 
     unsigned activeWalks() const { return active_; }
 
+    /**
+     * Verify walker invariants: active count matches the in-flight map,
+     * concurrency bound respected, queue only backs up when saturated,
+     * in-flight keys consistent with their walk state, and PSC state
+     * well-formed. Throws verify::InvariantViolation.
+     */
+    void checkInvariants() const;
+
   private:
     struct WalkState
     {

@@ -1,8 +1,15 @@
 #include "vm/tlb.hh"
 
-#include <cassert>
+#include <sstream>
+
+#include "sim/verify.hh"
 
 namespace tacsim {
+
+namespace {
+/** Low 52 bits of the entry key hold the VPN, the rest the ASID. */
+constexpr std::uint64_t kVpnMask = (std::uint64_t{1} << 52) - 1;
+} // namespace
 
 Tlb::Tlb(std::string name, std::uint32_t entries, std::uint32_t ways,
          Cycle latency, bool profileRecall)
@@ -12,8 +19,9 @@ Tlb::Tlb(std::string name, std::uint32_t entries, std::uint32_t ways,
       latency_(latency),
       entries_(static_cast<std::size_t>(entries))
 {
-    assert(entries % ways == 0);
-    assert((sets_ & (sets_ - 1)) == 0 && "TLB sets must be a power of two");
+    TACSIM_CHECK(entries % ways == 0);
+    TACSIM_CHECK((sets_ & (sets_ - 1)) == 0 &&
+                 "TLB sets must be a power of two");
     if (profileRecall)
         profiler_ = std::make_unique<RecallProfiler>(sets_, 1);
 }
@@ -96,6 +104,60 @@ void
 Tlb::resetStats()
 {
     stats_.reset();
+}
+
+void
+Tlb::forEachEntry(
+    const std::function<void(std::uint16_t, Addr, Addr)> &fn) const
+{
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            fn(static_cast<std::uint16_t>(e.key >> 52), e.key & kVpnMask,
+               e.pfn);
+    }
+}
+
+void
+Tlb::pokeForTest(std::uint32_t set, std::uint32_t way, std::uint16_t asid,
+                 Addr vpn, Addr pfn)
+{
+    Entry &e = entries_[static_cast<std::size_t>(set) * ways_ + way];
+    e.valid = true;
+    e.key = keyOf(asid, vpn);
+    e.pfn = pfn;
+    e.lru = clock_++;
+}
+
+void
+Tlb::checkInvariants() const
+{
+    using verify::InvariantViolation;
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        const std::size_t base = static_cast<std::size_t>(set) * ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const Entry &e = entries_[base + w];
+            if (!e.valid)
+                continue;
+            std::ostringstream ctx;
+            ctx << std::hex << "key=0x" << e.key << " pfn=0x" << e.pfn
+                << std::dec << " lru=" << e.lru;
+            if (setOf(e.key & kVpnMask) != set)
+                throw InvariantViolation(name_, "set-mismatch", ctx.str(),
+                                         set, w);
+            if (e.pfn != pageAlign(e.pfn))
+                throw InvariantViolation(name_, "pfn-align", ctx.str(),
+                                         set, w);
+            if (e.lru == 0 || e.lru >= clock_)
+                throw InvariantViolation(name_, "lru-clock", ctx.str(),
+                                         set, w);
+            for (std::uint32_t w2 = w + 1; w2 < ways_; ++w2) {
+                const Entry &other = entries_[base + w2];
+                if (other.valid && other.key == e.key)
+                    throw InvariantViolation(name_, "duplicate-key",
+                                             ctx.str(), set, w2);
+            }
+        }
+    }
 }
 
 } // namespace tacsim

@@ -13,6 +13,7 @@
 #define TACSIM_VM_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,22 @@ class Tlb
     std::uint32_t ways() const { return ways_; }
 
     const RecallProfiler *recallProfiler() const { return profiler_.get(); }
+
+    /** Visit every valid entry as (asid, vpn, pfn). */
+    void forEachEntry(
+        const std::function<void(std::uint16_t, Addr, Addr)> &fn) const;
+
+    /**
+     * Verify structural invariants: unique keys per set, entries indexed
+     * into the right set, LRU stamps behind the clock, page-aligned PFNs.
+     * Throws verify::InvariantViolation.
+     */
+    void checkInvariants() const;
+
+    /** Raw entry write bypassing fill()'s dedup/refresh — verifier tests
+     *  use this to seed corrupted state (duplicate keys, bogus PFNs). */
+    void pokeForTest(std::uint32_t set, std::uint32_t way,
+                     std::uint16_t asid, Addr vpn, Addr pfn);
 
   private:
     struct Entry

@@ -10,6 +10,7 @@
 
 #include "sim/runner.hh"
 #include "sim/system.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 namespace {
@@ -48,9 +49,15 @@ TEST_P(InvariantSweep, EndToEndInvariantsHold)
     std::vector<std::unique_ptr<Workload>> w;
     w.push_back(makeWorkload(bench, cfg.seed));
     System sys(cfg, std::move(w));
+    verify::Checker checker(sys, 50000);
+    sys.attachChecker(&checker);
     sys.warmup(20000);
     sys.run(80000);
     RunResult r = collectResult(sys, benchmarkName(bench));
+
+    // 0. Full-hierarchy structural verification at the drain point (the
+    // run loop also verified periodically if built with TACSIM_VERIFY).
+    ASSERT_NO_THROW(checker.checkAll());
 
     // 1. Forward progress with sane IPC.
     EXPECT_GE(r.instructions, 80000u);

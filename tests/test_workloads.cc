@@ -80,8 +80,9 @@ TEST(Workloads, AddressesStayWithinReasonableRegion)
         auto w = makeWorkload(b, 3);
         for (int i = 0; i < 20000; ++i) {
             const TraceRecord t = w->next();
-            if (t.isMem())
+            if (t.isMem()) {
                 ASSERT_LT(t.vaddr, Addr{1} << 46) << benchmarkName(b);
+            }
         }
     }
 }
