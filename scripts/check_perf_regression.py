@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a candidate tacsim-perf report against a committed baseline.
+
+Usage:
+    scripts/check_perf_regression.py BASELINE.json CANDIDATE.json \
+        [--tolerance FRACTION]
+
+Both files must be tacsim-bench-v1 reports (the format tacsim-perf
+writes). The gate is the *aggregate* events-per-second number: the
+candidate fails if it is more than --tolerance (default 0.20, i.e. 20%)
+below the baseline. Aggregate throughput is used instead of per-point
+numbers because single points on shared CI runners are too noisy; the
+aggregate averages over the full benchmark x config matrix.
+
+The tolerance is deliberately overridable: when comparing runs from two
+different machines (e.g. a laptop baseline against a CI candidate),
+widen it or refresh the baseline on the target host first — see the
+"Refreshing the perf baseline" section in README.md.
+
+Exit status: 0 on pass, 1 on regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if report.get("schema") != "tacsim-bench-v1":
+        sys.exit(f"error: {path}: expected schema tacsim-bench-v1, "
+                 f"got {report.get('schema')!r}")
+    try:
+        eps = float(report["aggregate"]["events_per_sec"])
+    except (KeyError, TypeError, ValueError):
+        sys.exit(f"error: {path}: missing aggregate.events_per_sec")
+    if eps <= 0:
+        sys.exit(f"error: {path}: non-positive aggregate throughput")
+    return report, eps
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Fail if candidate aggregate events/sec regresses "
+                    "more than --tolerance below baseline.")
+    ap.add_argument("baseline", help="committed baseline BENCH_perf.json")
+    ap.add_argument("candidate", help="freshly measured BENCH_perf.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop (default: 0.20)")
+    args = ap.parse_args()
+
+    if not 0 <= args.tolerance < 1:
+        sys.exit("error: --tolerance must be in [0, 1)")
+
+    base_report, base = load_report(args.baseline)
+    cand_report, cand = load_report(args.candidate)
+
+    failed_points = [p["key"] for p in cand_report.get("points", [])
+                     if not p.get("ok", True)]
+    if failed_points:
+        sys.exit(f"error: candidate has failed points: {failed_points}")
+
+    ratio = cand / base
+    floor = 1.0 - args.tolerance
+    print(f"baseline : {base:14.1f} events/sec "
+          f"({base_report.get('host', {}).get('os', 'unknown host')})")
+    print(f"candidate: {cand:14.1f} events/sec "
+          f"({cand_report.get('host', {}).get('os', 'unknown host')})")
+    print(f"ratio    : {ratio:.3f} (floor {floor:.3f})")
+
+    if ratio < floor:
+        drop = (1.0 - ratio) * 100
+        sys.exit(f"PERF REGRESSION: aggregate events/sec dropped "
+                 f"{drop:.1f}% (> {args.tolerance * 100:.0f}% allowed). "
+                 "If the slowdown is intentional and understood, refresh "
+                 "the committed baseline (see README.md).")
+    print("perf check passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the golden-run snapshots under tests/golden/.
+#
+# Usage: scripts/regen_golden.sh [build-dir]
+#   build-dir (default: build) is configured if needed, built, and the
+#   golden test binary is run with TACSIM_REGEN_GOLDEN=1, which rewrites
+#   the snapshot files in the source tree instead of comparing.
+#
+# Review the resulting `git diff tests/golden` before committing: every
+# changed field is a deliberate behavior change you are signing off on.
+
+set -euo pipefail
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target tacsim_golden_tests -j
+
+TACSIM_REGEN_GOLDEN=1 "$build_dir/tests/tacsim_golden_tests"
+
+echo
+echo "Golden snapshots regenerated. Review with: git diff tests/golden"

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "mem/request_pool.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -15,10 +16,10 @@ Cache::Cache(CacheParams params, EventQueue &eq, MemDevice *lower,
       lower_(lower),
       policy_(std::move(policy)),
       prefetcher_(std::move(prefetcher)),
-      blocks_(static_cast<std::size_t>(params_.sets) * params_.ways)
+      indexer_(params_.sets, kBlockBits),
+      blocks_(static_cast<std::size_t>(params_.sets) * params_.ways),
+      mshrs_(params_.mshrs)
 {
-    TACSIM_CHECK((params_.sets & (params_.sets - 1)) == 0 &&
-                 "set count must be a power of two");
     if (prefetcher_)
         prefetcher_->setIssuer(this);
     if (params_.profileRecall)
@@ -151,9 +152,8 @@ void
 Cache::handleMiss(const MemRequestPtr &req, const AccessInfo &ai)
 {
     const Addr blockAddr = req->blockAddr();
-    auto it = mshrs_.find(blockAddr);
-    if (it != mshrs_.end()) {
-        MshrEntry &e = it->second;
+    if (MshrEntry *hit = mshrs_.find(blockAddr)) {
+        MshrEntry &e = *hit;
         ++stats_.mshrMerges;
         if (req->type != ReqType::Prefetch) {
             // A demand merging into a prefetch-initiated MSHR is a late
@@ -202,18 +202,20 @@ Cache::handleMiss(const MemRequestPtr &req, const AccessInfo &ai)
     e.origin = req->prefetchOrigin;
     e.waiters.push_back(req);
     e.demandWaiting = !isPrefetch;
-    mshrs_.emplace(blockAddr, std::move(e));
+    mshrs_.insert(blockAddr, std::move(e));
     forwardMiss(blockAddr);
 }
 
 void
 Cache::forwardMiss(Addr blockAddr)
 {
-    const auto &entry = mshrs_.at(blockAddr);
+    const MshrEntry *entryPtr = mshrs_.find(blockAddr);
+    TACSIM_CHECK(entryPtr && "forwardMiss without MSHR");
+    const MshrEntry &entry = *entryPtr;
     // Build the child request that travels to the lower level. It
     // carries the classification flags so lower caches can apply their
     // own translation-conscious decisions (and trigger ATP/TEMPO).
-    auto child = std::make_shared<MemRequest>();
+    MemRequestPtr child = makeRequest();
     const MemRequestPtr &primary =
         entry.waiters.empty() ? nullptr : entry.waiters.front();
     child->paddr = blockAddr;
@@ -247,10 +249,10 @@ Cache::forwardMiss(Addr blockAddr)
 void
 Cache::handleFill(Addr blockAddr, RespSource src)
 {
-    auto it = mshrs_.find(blockAddr);
-    TACSIM_CHECK(it != mshrs_.end() && "fill without MSHR");
-    MshrEntry entry = std::move(it->second);
-    mshrs_.erase(it);
+    MshrEntry *slot = mshrs_.find(blockAddr);
+    TACSIM_CHECK(slot != nullptr && "fill without MSHR");
+    MshrEntry entry = std::move(*slot);
+    mshrs_.erase(blockAddr);
 
     ++stats_.fills;
     const std::uint32_t set = setIndex(blockAddr);
@@ -312,7 +314,7 @@ Cache::evictWay(std::uint32_t set, std::uint32_t way)
         profiler_->onEvict(set, b.tag, b.cat);
     if (b.dirty && lower_) {
         ++stats_.writebacksOut;
-        auto wb = std::make_shared<MemRequest>();
+        MemRequestPtr wb = makeRequest();
         wb->paddr = b.tag;
         wb->type = ReqType::Writeback;
         wb->issuedAt = eq_.now();
@@ -348,11 +350,11 @@ Cache::issuePrefetch(Addr paddr, PrefetchOrigin origin, Addr ip)
 {
     const Addr blockAddr = blockAlign(paddr);
     // Cheap duplicate filters: already resident or already in flight.
-    if (contains(blockAddr) || mshrs_.count(blockAddr))
+    if (contains(blockAddr) || mshrs_.contains(blockAddr))
         return;
 
     ++stats_.prefetchIssued;
-    auto req = std::make_shared<MemRequest>();
+    MemRequestPtr req = makeRequest();
     req->paddr = blockAddr;
     req->ip = ip;
     req->type = ReqType::Prefetch;
@@ -446,7 +448,7 @@ Cache::checkInvariants() const
            << " provisioned";
         throw InvariantViolation(who, "mshr-overflow", os.str());
     }
-    for (const auto &[addr, e] : mshrs_) {
+    mshrs_.forEach([&](Addr addr, const MshrEntry &e) {
         const std::uint32_t set = setIndex(addr);
         std::ostringstream ctx;
         ctx << std::hex << "mshr 0x" << addr << std::dec
@@ -495,7 +497,7 @@ Cache::checkInvariants() const
         if (e.prefetchOnly != (e.fillInfo.cat == BlockCat::Prefetch))
             throw InvariantViolation(who, "mshr-fill-class", ctx.str(),
                                      set);
-    }
+    });
 
     // Requests only queue while every MSHR is taken, and only demands
     // (prefetches are dropped, not queued).

@@ -18,13 +18,14 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block.hh"
 #include "cache/recall_profiler.hh"
 #include "cache/repl/policy.hh"
+#include "common/addr_map.hh"
 #include "common/event_queue.hh"
+#include "common/set_index.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 #include "prefetch/prefetcher.hh"
@@ -134,8 +135,7 @@ class Cache : public MemDevice, public PrefetchIssuer
 
     std::uint32_t setIndex(Addr paddr) const
     {
-        return static_cast<std::uint32_t>(blockNumber(paddr) &
-                                          (params_.sets - 1));
+        return indexer_.index(paddr);
     }
 
     /** Block metadata for tests/inspection; way may be invalid. */
@@ -191,8 +191,9 @@ class Cache : public MemDevice, public PrefetchIssuer
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<RecallProfiler> profiler_;
 
+    SetIndexer indexer_;
     std::vector<BlockMeta> blocks_;
-    std::unordered_map<Addr, MshrEntry> mshrs_;
+    AddrMap<MshrEntry> mshrs_;  ///< keyed by block address
     std::deque<MemRequestPtr> pending_; ///< waiting for a free MSHR
     CacheStats stats_;
 };

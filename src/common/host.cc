@@ -1,0 +1,68 @@
+#include "common/host.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace tacsim {
+
+std::uint64_t
+peakRssKb()
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            std::sscanf(line + 6, "%llu",
+                        reinterpret_cast<unsigned long long *>(&kb));
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+#else
+    return 0;
+#endif
+}
+
+unsigned
+hostCpus()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::string
+hostCompiler()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("g++ ") + std::to_string(__GNUC__) + "." +
+        std::to_string(__GNUC_MINOR__) + "." +
+        std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+hostOs()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct utsname u;
+    if (uname(&u) == 0)
+        return std::string(u.sysname) + " " + u.release;
+#endif
+    return "unknown";
+}
+
+} // namespace tacsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Host introspection for performance reports: peak RSS, CPU count,
+ * compiler and OS identification. Everything degrades gracefully on
+ * platforms without /proc (values report as 0 / "unknown").
+ */
+
+#ifndef TACSIM_COMMON_HOST_HH
+#define TACSIM_COMMON_HOST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tacsim {
+
+/** Peak resident-set size of this process in KiB (VmHWM); 0 if
+ *  unavailable. Monotonic over the process lifetime, so per-point
+ *  readings in a sweep record the high-water mark up to that point. */
+std::uint64_t peakRssKb();
+
+/** Logical CPU count visible to this process. */
+unsigned hostCpus();
+
+/** Compiler identification string (e.g. "g++ 12.2.0"). */
+std::string hostCompiler();
+
+/** Kernel/OS identification (uname -sr style); "unknown" elsewhere. */
+std::string hostOs();
+
+} // namespace tacsim
+
+#endif // TACSIM_COMMON_HOST_HH

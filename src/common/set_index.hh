@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared set-index extraction for set-associative structures.
+ *
+ * Cache and Tlb both map an address to a power-of-two set with a
+ * shift-and-mask; SetIndexer centralizes the precomputed mask/shift so
+ * the hot lookup path is two ALU ops with no division, no modulo and no
+ * re-derivation of `sets - 1` per access, and so the power-of-two
+ * requirement is checked in exactly one place.
+ */
+
+#ifndef TACSIM_COMMON_SET_INDEX_HH
+#define TACSIM_COMMON_SET_INDEX_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tacsim {
+
+class SetIndexer
+{
+  public:
+    SetIndexer() = default;
+
+    /** @p sets must be a power of two; @p shift is the number of low
+     *  address bits below the index field (kBlockBits for a cache
+     *  indexing physical addresses, 0 for a TLB indexing VPNs). */
+    SetIndexer(std::uint32_t sets, unsigned shift)
+        : shift_(shift), mask_(sets - 1)
+    {
+        TACSIM_CHECK(sets > 0 && (sets & (sets - 1)) == 0 &&
+                     "set count must be a power of two");
+    }
+
+    std::uint32_t
+    index(Addr a) const
+    {
+        return static_cast<std::uint32_t>(a >> shift_) & mask_;
+    }
+
+    std::uint32_t sets() const { return mask_ + 1; }
+
+  private:
+    unsigned shift_ = 0;
+    std::uint32_t mask_ = 0;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_COMMON_SET_INDEX_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/request_pool.hh"
+
 namespace tacsim {
 
 Core::Core(CoreParams params, EventQueue &eq, Workload &workload,
@@ -212,7 +214,7 @@ Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay)
     RobEntry &e = entryFor(seq);
     e.wait = replay ? StallKind::Replay : StallKind::Other;
 
-    auto req = std::make_shared<MemRequest>();
+    MemRequestPtr req = makeRequest();
     req->paddr = paddr;
     req->vaddr = e.vaddr;
     req->ip = e.ip;

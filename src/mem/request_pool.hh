@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pooled allocation for MemRequest objects.
+ *
+ * Every miss in the hierarchy allocates a fresh child MemRequest (plus
+ * its shared_ptr control block) and frees it when the fill completes —
+ * at simulation rates that is hundreds of thousands of malloc/free
+ * pairs per second, all of identical size. makeRequest() routes them
+ * through a thread-local freelist instead: std::allocate_shared places
+ * the request and its control block in one node, and retired nodes are
+ * recycled rather than returned to the heap.
+ *
+ * Thread safety: the freelist is thread_local, which is sound because a
+ * System and every request it creates live on a single sweep-worker
+ * thread for the whole run. Nodes are never handed across threads.
+ *
+ * Determinism: pooling only changes *where* requests live, never any
+ * value the simulation reads — no simulated behavior depends on pointer
+ * values. The golden-run suite pins this.
+ */
+
+#ifndef TACSIM_MEM_REQUEST_POOL_HH
+#define TACSIM_MEM_REQUEST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+#include "mem/request.hh"
+
+namespace tacsim {
+namespace pool_detail {
+
+/** Thread-local freelist of raw nodes for a single object type.
+ *  Parked nodes are returned to the heap when their thread exits, so
+ *  the pool holds no memory past any thread's lifetime. */
+template <typename T>
+struct Freelist
+{
+    union Node
+    {
+        Node *next;
+        alignas(T) unsigned char storage[sizeof(T)];
+    };
+
+    Node *head = nullptr;
+
+    ~Freelist()
+    {
+        while (head) {
+            Node *node = head;
+            head = node->next;
+            ::operator delete(node);
+        }
+    }
+
+    static Freelist &
+    instance()
+    {
+        static thread_local Freelist fl;
+        return fl;
+    }
+};
+
+/**
+ * Minimal std allocator backed by Freelist<T>. allocate_shared rebinds
+ * it to the combined object+control-block type, so every allocation it
+ * sees is single-object and pool-eligible; the n != 1 path exists only
+ * to satisfy the allocator contract.
+ */
+template <typename T>
+class PoolAllocator
+{
+  public:
+    using value_type = T;
+
+    PoolAllocator() = default;
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1) {
+            auto &fl = Freelist<T>::instance();
+            if (auto *node = fl.head) {
+                fl.head = node->next;
+                return reinterpret_cast<T *>(node);
+            }
+            return static_cast<T *>(
+                ::operator new(sizeof(typename Freelist<T>::Node)));
+        }
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (n == 1) {
+            auto &fl = Freelist<T>::instance();
+            auto *node = reinterpret_cast<typename Freelist<T>::Node *>(p);
+            node->next = fl.head;
+            fl.head = node;
+            return;
+        }
+        ::operator delete(p);
+    }
+
+    template <typename U>
+    bool operator==(const PoolAllocator<U> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const PoolAllocator<U> &) const
+    {
+        return false;
+    }
+};
+
+} // namespace pool_detail
+
+/** Allocate a default-constructed MemRequest from the thread's pool.
+ *  Drop-in replacement for std::make_shared<MemRequest>(). */
+inline MemRequestPtr
+makeRequest()
+{
+    return std::allocate_shared<MemRequest>(
+        pool_detail::PoolAllocator<MemRequest>());
+}
+
+} // namespace tacsim
+
+#endif // TACSIM_MEM_REQUEST_POOL_HH

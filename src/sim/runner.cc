@@ -38,6 +38,7 @@ collectResult(System &sys, const std::string &name)
     r.benchmark = name;
     r.cycles = sys.measuredCycles();
     r.instructions = sys.measuredInstructions();
+    r.events = sys.eventQueue().executed();
     r.ipc = r.cycles ? double(r.instructions) / double(r.cycles) : 0.0;
 
     const double kilo = double(r.instructions) / 1000.0;

@@ -31,6 +31,11 @@ struct RunResult
     std::uint64_t cycles = 0;
     double ipc = 0;
 
+    /** Discrete events executed by the engine over the system's whole
+     *  lifetime (warm-up included) — the denominator-free throughput
+     *  number tacsim-perf divides by wall time. */
+    std::uint64_t events = 0;
+
     double stlbMpki = 0;
 
     // Per-class MPKIs (Table II metrics).

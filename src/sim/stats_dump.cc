@@ -1,0 +1,130 @@
+#include "sim/stats_dump.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace tacsim {
+
+namespace {
+
+void
+emit(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s %llu\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+emit(std::string &out, const char *key, double v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s %.12g\n", key, v);
+    out += buf;
+}
+
+void
+emit(std::string &out, const char *key, const std::string &v)
+{
+    out += key;
+    out += ' ';
+    out += v;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+dumpRunResult(const RunResult &r)
+{
+    std::string out;
+    out.reserve(1024);
+    emit(out, "benchmark", r.benchmark);
+    emit(out, "instructions", r.instructions);
+    emit(out, "cycles", r.cycles);
+    emit(out, "events", r.events);
+    emit(out, "ipc", r.ipc);
+    emit(out, "stlb_mpki", r.stlbMpki);
+    emit(out, "l2_replay_mpki", r.l2ReplayMpki);
+    emit(out, "l2_nonreplay_mpki", r.l2NonReplayMpki);
+    emit(out, "l2_ptl1_mpki", r.l2Ptl1Mpki);
+    emit(out, "llc_replay_mpki", r.llcReplayMpki);
+    emit(out, "llc_nonreplay_mpki", r.llcNonReplayMpki);
+    emit(out, "llc_ptl1_mpki", r.llcPtl1Mpki);
+    emit(out, "stall_t", r.stallT);
+    emit(out, "stall_r", r.stallR);
+    emit(out, "stall_n", r.stallN);
+    emit(out, "avg_stall_per_walk", r.avgStallPerWalk);
+    emit(out, "avg_stall_per_replay", r.avgStallPerReplay);
+    emit(out, "avg_stall_per_nonreplay", r.avgStallPerNonReplay);
+    emit(out, "max_stall_per_walk", r.maxStallPerWalk);
+    emit(out, "max_stall_per_replay", r.maxStallPerReplay);
+    emit(out, "leaf_l1d", r.leafL1D);
+    emit(out, "leaf_l2c", r.leafL2C);
+    emit(out, "leaf_llc", r.leafLLC);
+    emit(out, "leaf_dram", r.leafDram);
+    emit(out, "leaf_onchip_hit_rate", r.leafOnChipHitRate);
+    emit(out, "replay_l1d", r.replayL1D);
+    emit(out, "replay_l2c", r.replayL2C);
+    emit(out, "replay_llc", r.replayLLC);
+    emit(out, "replay_dram", r.replayDram);
+    emit(out, "atp_issued", r.atpIssued);
+    emit(out, "atp_useful", r.atpUseful);
+    emit(out, "tempo_issued", r.tempoIssued);
+    for (std::size_t t = 0; t < r.threadCycles.size(); ++t) {
+        const std::string key = "thread" + std::to_string(t);
+        emit(out, (key + "_cycles").c_str(), r.threadCycles[t]);
+        emit(out, (key + "_instructions").c_str(),
+             r.threadInstructions[t]);
+    }
+    return out;
+}
+
+namespace {
+
+std::map<std::string, std::string>
+parseDump(const std::string &text)
+{
+    std::map<std::string, std::string> fields;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            fields[line] = "";
+        else
+            fields[line.substr(0, sp)] = line.substr(sp + 1);
+    }
+    return fields;
+}
+
+} // namespace
+
+std::vector<std::string>
+diffDumps(const std::string &expected, const std::string &actual)
+{
+    const auto exp = parseDump(expected);
+    const auto act = parseDump(actual);
+    std::vector<std::string> diffs;
+    for (const auto &[key, value] : exp) {
+        auto it = act.find(key);
+        if (it == act.end())
+            diffs.push_back(key + ": expected " + value +
+                            ", missing in actual");
+        else if (it->second != value)
+            diffs.push_back(key + ": expected " + value + ", got " +
+                            it->second);
+    }
+    for (const auto &[key, value] : act) {
+        if (!exp.count(key))
+            diffs.push_back(key + ": unexpected field (value " + value +
+                            ")");
+    }
+    return diffs;
+}
+
+} // namespace tacsim

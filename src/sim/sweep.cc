@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/host.hh"
+
 namespace tacsim {
 
 namespace {
@@ -147,6 +149,7 @@ SweepRunner::execute(Job &job)
     o.wallMs = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - t0)
                    .count();
+    o.peakRssKb = peakRssKb();
 
     std::lock_guard<std::mutex> lk(mutex_);
     job.done = true;

@@ -52,6 +52,11 @@ struct SweepOutcome
     std::string error;  ///< exception text when !ok
     double wallMs = 0;  ///< wall time of this point's simulation
 
+    /** Process peak RSS (KiB) sampled when the point finished. The
+     *  reading is a process-wide high-water mark, so it bounds (rather
+     *  than isolates) the point's own footprint. */
+    std::uint64_t peakRssKb = 0;
+
     // Job metadata echoed for the JSON report.
     std::string benchmark;
     std::uint64_t instructions = 0;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "mem/request_pool.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -29,10 +30,9 @@ PageTableWalker::walk(std::uint16_t asid, Addr vaddr, Addr ip,
                       std::uint16_t cpu, WalkCallback cb)
 {
     const std::uint64_t key = keyOf(asid, vaddr);
-    auto it = inflight_.find(key);
-    if (it != inflight_.end()) {
+    if (std::shared_ptr<WalkState> *live = inflight_.find(key)) {
         ++stats_.merged;
-        it->second->callbacks.push_back(std::move(cb));
+        (*live)->callbacks.push_back(std::move(cb));
         return;
     }
     // A duplicate may also be waiting behind the concurrency limit; a
@@ -75,7 +75,7 @@ PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
     ws->startLevel = pscs_.lookup(ws->asid, ws->vaddr, skipFrame);
 
     std::shared_ptr<WalkState> shared(std::move(ws));
-    inflight_[keyOf(shared->asid, shared->vaddr)] = shared;
+    inflight_.insert(keyOf(shared->asid, shared->vaddr), shared);
 
     // PSC search costs one cycle, then the first level read issues.
     const unsigned level = shared->startLevel;
@@ -89,7 +89,7 @@ PageTableWalker::issueLevel(std::shared_ptr<WalkState> ws, unsigned level)
     TACSIM_DCHECK(level >= 1 && level <= kPtLevels);
     ++stats_.levelReads[level - 1];
 
-    auto req = std::make_shared<MemRequest>();
+    MemRequestPtr req = makeRequest();
     req->paddr = ws->info.pteAddr[level - 1];
     req->vaddr = ws->vaddr;
     req->ip = ws->ip;
@@ -179,7 +179,8 @@ PageTableWalker::checkInvariants() const
            << "/" << params_.maxConcurrentWalks << " active";
         throw InvariantViolation(who, "queue-backlog", os.str());
     }
-    for (const auto &[key, ws] : inflight_) {
+    inflight_.forEach([&](std::uint64_t key,
+                          const std::shared_ptr<WalkState> &ws) {
         std::ostringstream ctx;
         ctx << std::hex << "walk asid=" << ws->asid << " vaddr=0x"
             << ws->vaddr << std::dec << " startLevel=" << ws->startLevel;
@@ -189,7 +190,7 @@ PageTableWalker::checkInvariants() const
             throw InvariantViolation(who, "walk-callbacks", ctx.str());
         if (ws->startLevel < 1 || ws->startLevel > kPtLevels)
             throw InvariantViolation(who, "level-range", ctx.str());
-    }
+    });
     pscs_.checkInvariants();
 }
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hh"
 #include "common/event_queue.hh"
 #include "common/histogram.hh"
 #include "common/types.hh"
@@ -134,7 +135,7 @@ class PageTableWalker
     Tlb *stlb_ = nullptr;
 
     std::unordered_map<std::uint16_t, PageTable *> spaces_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<WalkState>> inflight_;
+    AddrMap<std::shared_ptr<WalkState>> inflight_;
     std::deque<std::unique_ptr<WalkState>> queue_;
     unsigned active_ = 0;
     PtwStats stats_;

@@ -15,13 +15,12 @@ Tlb::Tlb(std::string name, std::uint32_t entries, std::uint32_t ways,
          Cycle latency, bool profileRecall)
     : name_(std::move(name)),
       sets_(entries / ways),
+      indexer_(sets_, 0),
       ways_(ways),
       latency_(latency),
       entries_(static_cast<std::size_t>(entries))
 {
     TACSIM_CHECK(entries % ways == 0);
-    TACSIM_CHECK((sets_ & (sets_ - 1)) == 0 &&
-                 "TLB sets must be a power of two");
     if (profileRecall)
         profiler_ = std::make_unique<RecallProfiler>(sets_, 1);
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/recall_profiler.hh"
+#include "common/set_index.hh"
 #include "common/types.hh"
 
 namespace tacsim {
@@ -99,13 +100,11 @@ class Tlb
         return (static_cast<std::uint64_t>(asid) << 52) | vpn;
     }
 
-    std::uint32_t setOf(Addr vpn) const
-    {
-        return static_cast<std::uint32_t>(vpn & (sets_ - 1));
-    }
+    std::uint32_t setOf(Addr vpn) const { return indexer_.index(vpn); }
 
     std::string name_;
     std::uint32_t sets_;
+    SetIndexer indexer_;
     std::uint32_t ways_;
     Cycle latency_;
     std::vector<Entry> entries_;

@@ -56,7 +56,12 @@ XalancWorkload::refill()
             return p_.tier1Bytes;
         return p_.tier0Bytes;
     };
-    Addr node = hotBase_ + (rng_.next() % tierSpan() & ~Addr{63});
+    // Draw the tier before the offset: both operands of % pull from
+    // rng_, and unsequenced draws made the trace depend on the
+    // compiler's evaluation order (caught by the golden suite — the
+    // ASan build ordered them differently).
+    const Addr span = tierSpan();
+    Addr node = hotBase_ + (rng_.next() % span & ~Addr{63});
     load(ip(0), node);
     for (unsigned i = 1; i < p_.chainLength; ++i) {
         node = hotBase_ + (hashCombine(node, i) % tierSpan() & ~Addr{63});

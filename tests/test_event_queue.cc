@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/event_queue.hh"
 
 namespace tacsim {
@@ -79,8 +82,22 @@ TEST(EventQueue, ChainedEventBeyondWindowIsDeferred)
     EXPECT_EQ(fired, 1);
 }
 
+#if defined(TACSIM_VERIFY_ENABLED) || !defined(NDEBUG)
+
+TEST(EventQueueDeathTest, ScheduleAtInPastAbortsWhenChecksAreLive)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.advanceTo(100);
+    EXPECT_DEATH(eq.scheduleAt(10, [] {}), "scheduleAt in the past");
+}
+
+#else
+
 TEST(EventQueue, ScheduleAtInPastClampsToNow)
 {
+    // Release safety net only: with TACSIM_DCHECK compiled in, past
+    // scheduling aborts instead (see the death test above).
     EventQueue eq;
     eq.advanceTo(100);
     int fired = 0;
@@ -89,6 +106,8 @@ TEST(EventQueue, ScheduleAtInPastClampsToNow)
     eq.advanceTo(100);
     EXPECT_EQ(fired, 1);
 }
+
+#endif
 
 TEST(EventQueue, StepRunsExactlyOneEvent)
 {
@@ -124,6 +143,80 @@ TEST(EventQueue, SizeTracksPendingEvents)
     EXPECT_EQ(eq.size(), 5u);
     eq.advanceTo(3);
     EXPECT_EQ(eq.size(), 2u);
+}
+
+TEST(EventQueue, FarFutureEventsFireInTimeOrder)
+{
+    // Events thousands of cycles out overflow the calendar window and
+    // must still interleave correctly with near-future ones.
+    EventQueue eq;
+    std::vector<Cycle> times;
+    auto record = [&] { times.push_back(eq.now()); };
+    eq.scheduleAt(9000, record);
+    eq.scheduleAt(12, record);
+    eq.scheduleAt(4096, record);
+    eq.scheduleAt(2047, record);
+    eq.scheduleAt(100000, record);
+    eq.advanceTo(200000);
+    EXPECT_EQ(times,
+              (std::vector<Cycle>{12, 2047, 4096, 9000, 100000}));
+}
+
+TEST(EventQueue, SameCycleOrderSurvivesHeapMigration)
+{
+    // e1 is scheduled for cycle 5000 while that cycle is far outside
+    // the window (it waits in the overflow heap); e2 is scheduled for
+    // the same cycle once the window has advanced over it. Insertion
+    // (seq) order must still decide who fires first.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(5000, [&] { order.push_back(1); });
+    eq.advanceTo(4500);
+    eq.scheduleAt(5000, [&] { order.push_back(2); });
+    eq.advanceTo(5000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LargeCapturesFallBackGracefully)
+{
+    // Captures larger than the record's inline storage take the
+    // std::function fallback; behavior must be identical.
+    EventQueue eq;
+    struct Big
+    {
+        char payload[128];
+    };
+    Big big{};
+    big.payload[0] = 42;
+    int seen = 0;
+    eq.schedule(3, [&seen, big] { seen = big.payload[0]; });
+    eq.advanceTo(3);
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, ExecutedCountsAllFiredEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(static_cast<Cycle>(i % 3), [] {});
+    eq.advanceTo(10);
+    EXPECT_EQ(eq.executed(), 10u);
+    eq.reset();
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ResetDropsFarFutureEventsToo)
+{
+    // Pending overflow-heap events must be destroyed on reset (their
+    // captures may own shared_ptrs — leaking them trips ASan).
+    EventQueue eq;
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    eq.scheduleAt(50000, [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    eq.reset();
+    EXPECT_TRUE(watch.expired());
 }
 
 } // namespace
