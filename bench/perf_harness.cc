@@ -11,10 +11,13 @@
  *
  * Usage:
  *   tacsim-perf [--instructions N] [--warmup N] [--out FILE] [--quick]
+ *               [--trace FILE]
  *
- * --quick shrinks the matrix to two benchmarks for smoke runs. Points
- * execute serially by default so per-point wall times are not polluted
- * by sibling points; set TACSIM_JOBS to override.
+ * --quick shrinks the matrix to two benchmarks for smoke runs. --trace
+ * replaces the synthetic matrix with a recorded `tacsim-trace-v1` file
+ * replayed under both configs (throughput on a fixed, shareable input).
+ * Points execute serially by default so per-point wall times are not
+ * polluted by sibling points; set TACSIM_JOBS to override.
  *
  * JSON schema "tacsim-bench-v1":
  *   { schema, title, host{cpus, compiler, os}, budget{instructions,
@@ -32,6 +35,7 @@
 #include "common/host.hh"
 #include "sim/config.hh"
 #include "sim/sweep.hh"
+#include "trace/reader.hh"
 
 namespace {
 
@@ -49,6 +53,7 @@ struct Options
     std::uint64_t instructions = 200000;
     std::uint64_t warmup = 50000;
     std::string out = "BENCH_perf.json";
+    std::string trace; ///< replay this trace instead of the matrix
     bool quick = false;
 };
 
@@ -72,12 +77,15 @@ parseArgs(int argc, char **argv)
             o.warmup = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--out") {
             o.out = value();
+        } else if (arg == "--trace") {
+            o.trace = value();
         } else if (arg == "--quick") {
             o.quick = true;
         } else {
             std::fprintf(stderr,
                          "usage: tacsim-perf [--instructions N] "
-                         "[--warmup N] [--out FILE] [--quick]\n");
+                         "[--warmup N] [--out FILE] [--quick] "
+                         "[--trace FILE]\n");
             std::exit(arg == "--help" ? 0 : 2);
         }
     }
@@ -132,17 +140,39 @@ main(int argc, char **argv)
     };
 
     std::vector<PerfPoint> points;
-    for (Benchmark b : kAllBenchmarks) {
-        const std::string name = benchmarkName(b);
-        if (opt.quick && name != "xalancbmk" && name != "mcf")
-            continue;
+    if (!opt.trace.empty()) {
+        // Validate the file and pull the benchmark name up front so a
+        // bad path fails fast instead of as N identical point errors.
+        std::string traceName;
+        try {
+            trace::TraceReader reader(opt.trace);
+            traceName = reader.header().name;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "tacsim-perf: %s\n", e.what());
+            return 2;
+        }
         for (const auto &[cfgName, cfg] : configs) {
             PerfPoint p;
-            p.benchmark = name;
+            p.benchmark = traceName;
             p.config = cfgName;
-            p.key = name + "/" + cfgName;
-            sweep.add(p.key, *cfg, b, opt.instructions, opt.warmup);
+            p.key = "trace/" + std::string(cfgName);
+            sweep.addSpec(p.key, *cfg, "trace:" + opt.trace,
+                          opt.instructions, opt.warmup);
             points.push_back(std::move(p));
+        }
+    } else {
+        for (Benchmark b : kAllBenchmarks) {
+            const std::string name = benchmarkName(b);
+            if (opt.quick && name != "xalancbmk" && name != "mcf")
+                continue;
+            for (const auto &[cfgName, cfg] : configs) {
+                PerfPoint p;
+                p.benchmark = name;
+                p.config = cfgName;
+                p.key = name + "/" + cfgName;
+                sweep.add(p.key, *cfg, b, opt.instructions, opt.warmup);
+                points.push_back(std::move(p));
+            }
         }
     }
 

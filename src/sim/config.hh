@@ -11,6 +11,7 @@
 #define TACSIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "cache/repl/policy.hh"
 #include "core/core.hh"
@@ -83,6 +84,15 @@ struct SystemConfig
     bool profileStlbRecall = false;
 
     DramParams dram;
+
+    /**
+     * Workload override. Empty (default) runs the benchmark passed to
+     * the runner/sweep; otherwise a workload spec replaces it on every
+     * thread: a Table-II benchmark name ("mcf") or "trace:<path>" to
+     * replay a recorded `tacsim-trace-v1` file (see src/trace/ and
+     * makeWorkloadFromSpec).
+     */
+    std::string workload;
 
     std::uint64_t seed = 1;
 

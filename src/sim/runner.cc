@@ -166,24 +166,61 @@ RunResult
 runMix(const SystemConfig &cfg, const std::vector<Benchmark> &mix,
        std::uint64_t instructionsPerThread, std::uint64_t warmup)
 {
+    // The config's workload spec, when set, overrides the benchmark
+    // selection on every thread (e.g. "trace:<path>" replays a recorded
+    // trace through an otherwise unchanged experiment).
+    std::vector<std::string> specs;
+    specs.reserve(mix.size());
+    for (Benchmark b : mix)
+        specs.push_back(cfg.workload.empty() ? benchmarkName(b)
+                                             : cfg.workload);
+    return runSpecMix(cfg, specs, instructionsPerThread, warmup);
+}
+
+RunResult
+runSpec(const SystemConfig &cfg, const std::string &spec,
+        std::uint64_t instructions, std::uint64_t warmup)
+{
+    std::vector<std::string> specs(cfg.threads(), spec);
+    return runSpecMix(cfg, specs, instructions, warmup);
+}
+
+RunResult
+runSpecMix(const SystemConfig &cfg, const std::vector<std::string> &specs,
+           std::uint64_t instructionsPerThread, std::uint64_t warmup)
+{
+    std::vector<std::unique_ptr<Workload>> wls;
+    wls.reserve(specs.size());
+    for (std::size_t t = 0; t < specs.size(); ++t)
+        wls.push_back(makeWorkloadFromSpec(specs[t], cfg.seed + t));
+    return runWorkloads(cfg, std::move(wls), "", instructionsPerThread,
+                        warmup);
+}
+
+RunResult
+runWorkloads(const SystemConfig &cfg,
+             std::vector<std::unique_ptr<Workload>> workloads,
+             const std::string &name, std::uint64_t instructionsPerThread,
+             std::uint64_t warmup)
+{
     if (instructionsPerThread == 0)
         instructionsPerThread = defaultInstructions();
     if (warmup == 0)
         warmup = defaultWarmup();
 
-    std::vector<std::unique_ptr<Workload>> wls;
-    std::string name;
-    for (std::size_t t = 0; t < mix.size(); ++t) {
-        wls.push_back(makeWorkload(mix[t], cfg.seed + t));
-        if (t)
-            name += "-";
-        name += benchmarkName(mix[t]);
+    std::string label = name;
+    if (label.empty()) {
+        for (std::size_t t = 0; t < workloads.size(); ++t) {
+            if (t)
+                label += "-";
+            label += workloads[t]->name();
+        }
     }
 
-    System sys(cfg, std::move(wls));
+    System sys(cfg, std::move(workloads));
     sys.warmup(warmup);
     sys.run(instructionsPerThread);
-    return collectResult(sys, name);
+    return collectResult(sys, label);
 }
 
 double

@@ -14,6 +14,7 @@
 #define TACSIM_SIM_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,16 +81,41 @@ std::uint64_t defaultInstructions();
 std::uint64_t defaultWarmup();
 
 /** Run one benchmark on @p cfg; warmup+measure with the given budgets
- *  (0 = defaults). */
+ *  (0 = defaults). A non-empty cfg.workload spec overrides @p b. */
 RunResult runBenchmark(const SystemConfig &cfg, Benchmark b,
                        std::uint64_t instructions = 0,
                        std::uint64_t warmup = 0);
 
-/** Run a multi-thread mix (one benchmark per thread). */
+/** Run a multi-thread mix (one benchmark per thread). A non-empty
+ *  cfg.workload spec overrides every mix entry. */
 RunResult runMix(const SystemConfig &cfg,
                  const std::vector<Benchmark> &mix,
                  std::uint64_t instructionsPerThread = 0,
                  std::uint64_t warmup = 0);
+
+/** Run one workload spec ("mcf" or "trace:<path>") on every thread. */
+RunResult runSpec(const SystemConfig &cfg, const std::string &spec,
+                  std::uint64_t instructions = 0,
+                  std::uint64_t warmup = 0);
+
+/** Run a multi-thread mix of workload specs (one per thread). */
+RunResult runSpecMix(const SystemConfig &cfg,
+                     const std::vector<std::string> &specs,
+                     std::uint64_t instructionsPerThread = 0,
+                     std::uint64_t warmup = 0);
+
+/**
+ * Run pre-built workloads (one per thread). This is the primitive the
+ * spec/benchmark entry points delegate to; callers that need to wrap
+ * workloads themselves (e.g. the trace CLI teeing a run through a
+ * RecordingWorkload) use it directly. @p name labels the RunResult;
+ * empty derives the usual "-"-joined workload names.
+ */
+RunResult runWorkloads(const SystemConfig &cfg,
+                       std::vector<std::unique_ptr<Workload>> workloads,
+                       const std::string &name = "",
+                       std::uint64_t instructionsPerThread = 0,
+                       std::uint64_t warmup = 0);
 
 /** Extract a RunResult from an already-run system. */
 RunResult collectResult(System &sys, const std::string &name);

@@ -116,6 +116,24 @@ SweepRunner::addMix(const std::string &key, const SystemConfig &cfg,
 }
 
 std::size_t
+SweepRunner::addSpec(const std::string &key, const SystemConfig &cfg,
+                     const std::string &spec,
+                     std::uint64_t instructions, std::uint64_t warmup)
+{
+    Job job;
+    job.key = key;
+    job.instructions = instructions ? instructions : defaultInstructions();
+    job.warmup = warmup ? warmup : defaultWarmup();
+    job.seed = cfg.seed;
+    // benchmark stays empty: execute() labels the outcome with the
+    // workload's own name (trace headers carry the benchmark name).
+    job.fn = [cfg, spec, instr = job.instructions, warm = job.warmup] {
+        return runSpec(cfg, spec, instr, warm);
+    };
+    return addJob(std::move(job));
+}
+
+std::size_t
 SweepRunner::addCustom(const std::string &key,
                        std::function<RunResult()> fn)
 {

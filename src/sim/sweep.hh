@@ -87,6 +87,14 @@ class SweepRunner
                        std::uint64_t instructions = 0,
                        std::uint64_t warmup = 0);
 
+    /** Register a workload-spec point ("mcf" or "trace:<path>"), run on
+     *  every thread of @p cfg. The JSON benchmark label comes from the
+     *  workload's own name once the point has run. */
+    std::size_t addSpec(const std::string &key, const SystemConfig &cfg,
+                        const std::string &spec,
+                        std::uint64_t instructions = 0,
+                        std::uint64_t warmup = 0);
+
     /** Register an arbitrary job (custom sweeps, tests). */
     std::size_t addCustom(const std::string &key,
                           std::function<RunResult()> fn);

@@ -1,0 +1,157 @@
+#include "trace/champsim.hh"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "trace/writer.hh"
+
+namespace tacsim {
+namespace trace {
+
+namespace {
+
+// ChampSim input_instr field geometry (64 bytes, little-endian).
+constexpr std::size_t kNumDest = 2;
+constexpr std::size_t kNumSrc = 4;
+constexpr std::size_t kOffIp = 0;
+constexpr std::size_t kOffDestRegs = 10; // after ip + 2 branch bytes
+constexpr std::size_t kOffSrcRegs = 12;
+constexpr std::size_t kOffDestMem = 16;
+constexpr std::size_t kOffSrcMem = 32;
+
+std::uint64_t
+readLe64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+/** Fill exactly @p want bytes from @p src (which may return short
+ *  counts); returns bytes actually produced (< want only at EOF). */
+std::size_t
+fillExact(const ByteSource &src, unsigned char *out, std::size_t want)
+{
+    std::size_t got = 0;
+    while (got < want) {
+        const std::size_t n = src(out + got, want - got);
+        if (n == 0)
+            break;
+        got += n;
+    }
+    return got;
+}
+
+} // namespace
+
+ChampSimImportStats
+importChampSim(const ByteSource &src, const std::string &outPath,
+               const ChampSimImportOptions &opts)
+{
+    TraceHeader header;
+    header.name = opts.name;
+    header.footprint = opts.footprint;
+    header.seed = opts.seed;
+    TraceWriter writer(outPath, header);
+
+    ChampSimImportStats stats;
+
+    // Registers written by the most recent load instruction: a later
+    // memory access sourcing one of them is address-dependent on that
+    // load (tacsim's dependsOnPrevLoad).
+    std::array<bool, 256> loadDest{};
+
+    auto emit = [&](const TraceRecord &r) {
+        writer.append(r);
+        ++stats.records;
+        if (r.isMem()) {
+            stats.minVaddr = std::min(stats.minVaddr, r.vaddr);
+            stats.maxVaddr = std::max(stats.maxVaddr, r.vaddr);
+        }
+        if (r.dependsOnPrevLoad)
+            ++stats.dependent;
+    };
+
+    unsigned char rec[kChampSimRecordBytes];
+    for (;;) {
+        if (opts.maxInstructions &&
+            stats.instructions >= opts.maxInstructions)
+            break;
+        const std::size_t got = fillExact(src, rec, sizeof rec);
+        if (got == 0)
+            break;
+        if (got != sizeof rec)
+            throw std::runtime_error(
+                "champsim import: truncated input_instr record (" +
+                std::to_string(got) + " trailing bytes)");
+        ++stats.instructions;
+
+        const Addr ip = readLe64(rec + kOffIp);
+
+        bool depends = false;
+        for (std::size_t i = 0; i < kNumSrc; ++i) {
+            const unsigned char reg = rec[kOffSrcRegs + i];
+            if (reg && loadDest[reg])
+                depends = true;
+        }
+
+        bool anyMem = false;
+        bool anyLoad = false;
+        for (std::size_t i = 0; i < kNumSrc; ++i) {
+            const Addr va = readLe64(rec + kOffSrcMem + 8 * i);
+            if (!va)
+                continue;
+            TraceRecord r;
+            r.ip = ip;
+            r.kind = TraceRecord::Kind::Load;
+            r.vaddr = va;
+            r.dependsOnPrevLoad = depends;
+            emit(r);
+            ++stats.loads;
+            anyMem = anyLoad = true;
+        }
+        for (std::size_t i = 0; i < kNumDest; ++i) {
+            const Addr va = readLe64(rec + kOffDestMem + 8 * i);
+            if (!va)
+                continue;
+            TraceRecord r;
+            r.ip = ip;
+            r.kind = TraceRecord::Kind::Store;
+            r.vaddr = va;
+            r.dependsOnPrevLoad = depends;
+            emit(r);
+            ++stats.stores;
+            anyMem = true;
+        }
+        if (!anyMem) {
+            TraceRecord r;
+            r.ip = ip;
+            emit(r);
+            ++stats.nonMem;
+        }
+
+        // A load replaces the dependence set with its destinations; any
+        // other instruction overwrites (kills) the registers it writes.
+        if (anyLoad)
+            loadDest.fill(false);
+        for (std::size_t i = 0; i < kNumDest; ++i) {
+            const unsigned char reg = rec[kOffDestRegs + i];
+            if (reg)
+                loadDest[reg] = anyLoad;
+        }
+    }
+
+    if (stats.records == 0)
+        throw std::runtime_error("champsim import: empty input");
+
+    if (opts.footprint == 0 && stats.maxVaddr >= stats.minVaddr &&
+        stats.loads + stats.stores > 0)
+        writer.setFootprint(stats.maxVaddr - stats.minVaddr + 1);
+    writer.finalize();
+    return stats;
+}
+
+} // namespace trace
+} // namespace tacsim

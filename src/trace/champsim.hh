@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ChampSim trace import: converts the ChampSim `input_instr` format
+ * (64-byte fixed records: ip, branch bits, 2 destination + 4 source
+ * registers, 2 destination + 4 source memory operands) into
+ * `tacsim-trace-v1`.
+ *
+ * Mapping:
+ *  - each nonzero source_memory operand becomes a Load record, each
+ *    nonzero destination_memory operand a Store record, all at the
+ *    instruction's ip; an instruction with no memory operands becomes
+ *    one NonMem record;
+ *  - tacsim's `dependsOnPrevLoad` is derived from ChampSim's register
+ *    dependences: a memory instruction whose source registers include a
+ *    register written by the most recent preceding load is marked
+ *    dependent (pointer chasing). Registers overwritten by non-load
+ *    instructions kill the dependence.
+ *
+ * Decompression is the caller's concern: the importer pulls raw
+ * `input_instr` bytes from a ByteSource callback, so the CLI can hand
+ * it a plain file reader or a gzip stream without this library linking
+ * zlib.
+ */
+
+#ifndef TACSIM_TRACE_CHAMPSIM_HH
+#define TACSIM_TRACE_CHAMPSIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tacsim {
+namespace trace {
+
+/** Pull callback: fill up to n bytes, return bytes produced (0 = EOF,
+ *  may return short counts mid-stream). */
+using ByteSource = std::function<std::size_t(void *, std::size_t)>;
+
+/** Size of one ChampSim input_instr record on disk. */
+constexpr std::size_t kChampSimRecordBytes = 64;
+
+struct ChampSimImportOptions
+{
+    std::string name = "champsim"; ///< benchmark name for the header
+    Addr footprint = 0; ///< 0 = derive from the observed address span
+    std::uint64_t seed = 0; ///< recorded in the header (provenance only)
+    std::uint64_t maxInstructions = 0; ///< 0 = import everything
+};
+
+struct ChampSimImportStats
+{
+    std::uint64_t instructions = 0; ///< input_instr records consumed
+    std::uint64_t records = 0;      ///< TraceRecords written
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t nonMem = 0;
+    std::uint64_t dependent = 0; ///< records with dependsOnPrevLoad
+    Addr minVaddr = ~Addr{0};
+    Addr maxVaddr = 0;
+};
+
+/**
+ * Convert @p src into a finalized trace file at @p outPath. Throws
+ * std::runtime_error on I/O failure or a truncated (non-multiple of 64
+ * bytes) input stream.
+ */
+ChampSimImportStats importChampSim(const ByteSource &src,
+                                   const std::string &outPath,
+                                   const ChampSimImportOptions &opts = {});
+
+} // namespace trace
+} // namespace tacsim
+
+#endif // TACSIM_TRACE_CHAMPSIM_HH

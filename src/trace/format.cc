@@ -1,0 +1,109 @@
+#include "trace/format.hh"
+
+#include <stdexcept>
+
+namespace tacsim {
+namespace trace {
+
+namespace {
+
+struct CrcTable
+{
+    std::uint32_t t[256];
+
+    CrcTable()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+const CrcTable &
+crcTable()
+{
+    static const CrcTable table;
+    return table;
+}
+
+void
+appendLe(std::vector<unsigned char> &out, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t n)
+{
+    const CrcTable &tab = crcTable();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = tab.t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+void
+appendVarint(std::vector<unsigned char> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<unsigned char>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<unsigned char>(v));
+}
+
+void
+encodeRecord(std::vector<unsigned char> &out, const TraceRecord &r,
+             DeltaState &ds)
+{
+    const unsigned char flags =
+        static_cast<unsigned char>(r.kind) |
+        static_cast<unsigned char>(r.dependsOnPrevLoad ? 0x04 : 0x00);
+    out.push_back(flags);
+    appendVarint(out, zigzagEncode(static_cast<std::int64_t>(
+                          r.ip - ds.prevIp)));
+    ds.prevIp = r.ip;
+    if (r.isMem()) {
+        appendVarint(out, zigzagEncode(static_cast<std::int64_t>(
+                              r.vaddr - ds.prevVaddr)));
+        ds.prevVaddr = r.vaddr;
+    }
+}
+
+std::vector<unsigned char>
+encodeHeader(const TraceHeader &h)
+{
+    if (h.name.size() > 0xFFFF)
+        throw std::runtime_error("trace: benchmark name too long");
+    std::vector<unsigned char> out;
+    out.reserve(kHeaderFixedBytes + h.name.size());
+    out.insert(out.end(), kMagic.begin(), kMagic.end());
+    appendLe(out, kVersion, 4);
+    appendLe(out, h.footprint, 8);
+    appendLe(out, h.seed, 8);
+    appendLe(out, h.recordCount, 8);
+    appendLe(out, h.name.size(), 2);
+    out.insert(out.end(), h.name.begin(), h.name.end());
+    return out;
+}
+
+std::vector<unsigned char>
+encodeFooter(std::uint64_t recordCount, std::uint32_t crc)
+{
+    std::vector<unsigned char> out;
+    out.reserve(kFooterBytes);
+    out.insert(out.end(), kEndMagic.begin(), kEndMagic.end());
+    appendLe(out, recordCount, 8);
+    appendLe(out, crc, 4);
+    return out;
+}
+
+} // namespace trace
+} // namespace tacsim

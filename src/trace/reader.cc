@@ -1,0 +1,235 @@
+#include "trace/reader.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace tacsim {
+namespace trace {
+
+namespace {
+
+constexpr std::size_t kBufferBytes = 64 * 1024;
+
+std::uint64_t
+readLe(const unsigned char *p, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error("trace: " + what + ": " + path);
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fail(path, "cannot open");
+
+    unsigned char fixed[kHeaderFixedBytes];
+    if (std::fread(fixed, 1, sizeof fixed, file_) != sizeof fixed) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "truncated header");
+    }
+    if (std::memcmp(fixed, kMagic.data(), kMagic.size()) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "not a tacsim-trace file (bad magic)");
+    }
+    const std::uint64_t version = readLe(fixed + 8, 4);
+    if (version != kVersion) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "unsupported version " + std::to_string(version));
+    }
+    header_.footprint = readLe(fixed + 12, 8);
+    header_.seed = readLe(fixed + 20, 8);
+    header_.recordCount = readLe(fixed + 28, 8);
+    const std::size_t nameLen =
+        static_cast<std::size_t>(readLe(fixed + 36, 2));
+
+    std::vector<char> name(nameLen);
+    if (nameLen &&
+        std::fread(name.data(), 1, nameLen, file_) != nameLen) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "truncated header name");
+    }
+    header_.name.assign(name.begin(), name.end());
+    payloadStart_ = static_cast<long>(kHeaderFixedBytes + nameLen);
+    buffer_.reserve(kBufferBytes);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::refill()
+{
+    buffer_.resize(kBufferBytes);
+    const std::size_t got =
+        std::fread(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.resize(got);
+    bufPos_ = 0;
+    return got != 0;
+}
+
+unsigned char
+TraceReader::takeByte()
+{
+    if (bufPos_ >= buffer_.size() && !refill())
+        fail(path_, "truncated payload");
+    return buffer_[bufPos_++];
+}
+
+std::uint64_t
+TraceReader::takeVarint()
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const unsigned char b = takeByte();
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+    }
+    fail(path_, "overlong varint");
+}
+
+bool
+TraceReader::next(TraceRecord &r)
+{
+    if (position_ >= header_.recordCount)
+        return false;
+
+    const unsigned char flags = takeByte();
+    if (flags & ~0x07u)
+        fail(path_, "corrupt record flags");
+    const unsigned kind = flags & 0x03u;
+    if (kind > 2)
+        fail(path_, "corrupt record kind");
+
+    r = TraceRecord{};
+    r.kind = static_cast<TraceRecord::Kind>(kind);
+    r.dependsOnPrevLoad = (flags & 0x04u) != 0;
+    delta_.prevIp += static_cast<Addr>(zigzagDecode(takeVarint()));
+    r.ip = delta_.prevIp;
+    if (r.isMem()) {
+        delta_.prevVaddr +=
+            static_cast<Addr>(zigzagDecode(takeVarint()));
+        r.vaddr = delta_.prevVaddr;
+    }
+    ++position_;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    if (std::fseek(file_, payloadStart_, SEEK_SET) != 0)
+        fail(path_, "rewind failed");
+    buffer_.clear();
+    bufPos_ = 0;
+    delta_ = DeltaState{};
+    position_ = 0;
+}
+
+VerifyResult
+verifyTraceFile(const std::string &path)
+{
+    VerifyResult v;
+    try {
+        TraceReader reader(path);
+        v.header = reader.header();
+
+        TraceRecord r;
+        while (reader.next(r)) {
+        }
+
+        // Decoding proved the payload is structurally sound; now check
+        // integrity byte-for-byte. The payload spans from the end of the
+        // header to the start of the fixed-size footer.
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f) {
+            v.error = "cannot reopen";
+            return v;
+        }
+        const long payloadStart = static_cast<long>(
+            kHeaderFixedBytes + v.header.name.size());
+        std::fseek(f, 0, SEEK_END);
+        const long fileSize = std::ftell(f);
+        const long payloadEnd =
+            fileSize - static_cast<long>(kFooterBytes);
+        if (payloadEnd < payloadStart) {
+            std::fclose(f);
+            v.error = "file too small for footer";
+            return v;
+        }
+        v.payloadBytes =
+            static_cast<std::uint64_t>(payloadEnd - payloadStart);
+
+        std::fseek(f, payloadStart, SEEK_SET);
+        std::uint32_t crc = 0;
+        std::vector<unsigned char> buf(64 * 1024);
+        std::uint64_t remaining = v.payloadBytes;
+        while (remaining) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(remaining, buf.size()));
+            if (std::fread(buf.data(), 1, want, f) != want) {
+                std::fclose(f);
+                v.error = "payload read failed";
+                return v;
+            }
+            crc = crc32(crc, buf.data(), want);
+            remaining -= want;
+        }
+
+        unsigned char foot[kFooterBytes];
+        const bool footOk =
+            std::fread(foot, 1, sizeof foot, f) == sizeof foot;
+        std::fclose(f);
+        if (!footOk) {
+            v.error = "truncated footer";
+            return v;
+        }
+        if (std::memcmp(foot, kEndMagic.data(), kEndMagic.size()) != 0) {
+            v.error = "bad footer magic";
+            return v;
+        }
+        const std::uint64_t footCount = readLe(foot + 4, 8);
+        const std::uint32_t footCrc =
+            static_cast<std::uint32_t>(readLe(foot + 12, 4));
+        if (footCount != v.header.recordCount) {
+            v.error = "record count mismatch (header " +
+                std::to_string(v.header.recordCount) + ", footer " +
+                std::to_string(footCount) + ")";
+            return v;
+        }
+        if (reader.position() != v.header.recordCount) {
+            v.error = "decoded record count mismatch";
+            return v;
+        }
+        if (footCrc != crc) {
+            v.error = "payload CRC mismatch";
+            return v;
+        }
+        v.ok = true;
+    } catch (const std::exception &e) {
+        v.error = e.what();
+    }
+    return v;
+}
+
+} // namespace trace
+} // namespace tacsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * TraceReader — buffered decoder for `tacsim-trace-v1` files — and
+ * TraceFileWorkload, which replays a recorded trace through the
+ * Workload interface, looping at EOF so the endless-stream contract the
+ * core model relies on is preserved.
+ */
+
+#ifndef TACSIM_TRACE_READER_HH
+#define TACSIM_TRACE_READER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+#include "trace/format.hh"
+
+namespace tacsim {
+namespace trace {
+
+/**
+ * Sequential record decoder. Validates magic/version/header shape on
+ * construction (throws std::runtime_error on malformed files); payload
+ * integrity (CRC, counts, footer) is checked by verifyTraceFile(),
+ * which decodes the whole file.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+
+    /** Records decoded since construction / the last rewind(). */
+    std::uint64_t position() const { return position_; }
+
+    /**
+     * Decode the next record into @p r; false once recordCount records
+     * have been read. Throws std::runtime_error on a truncated or
+     * corrupt payload.
+     */
+    bool next(TraceRecord &r);
+
+    /** Seek back to the payload start and reset the delta chains. */
+    void rewind();
+
+  private:
+    unsigned char takeByte();
+    std::uint64_t takeVarint();
+    bool refill();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+    long payloadStart_ = 0;
+
+    std::vector<unsigned char> buffer_;
+    std::size_t bufPos_ = 0;
+    DeltaState delta_;
+    std::uint64_t position_ = 0;
+};
+
+/** Outcome of a full-file integrity check. */
+struct VerifyResult
+{
+    bool ok = false;
+    std::string error;     ///< first problem found, empty when ok
+    TraceHeader header;    ///< valid whenever the header parsed
+    std::uint64_t payloadBytes = 0;
+};
+
+/**
+ * Decode every record, then check the footer: end magic present, both
+ * record counts consistent, payload CRC matches. Never throws — parse
+ * errors come back as !ok.
+ */
+VerifyResult verifyTraceFile(const std::string &path);
+
+/**
+ * Replay a recorded trace as an endless instruction stream. Each
+ * instance owns an independent reader, so multiple threads of a System
+ * may replay the same file. At EOF the reader rewinds to the payload
+ * start — short traces repeat, which mirrors how the synthetic
+ * generators produce unbounded streams from bounded state.
+ */
+class TraceFileWorkload : public Workload
+{
+  public:
+    explicit TraceFileWorkload(const std::string &path) : reader_(path)
+    {
+        if (reader_.header().recordCount == 0)
+            throw std::runtime_error("trace: empty trace: " + path);
+    }
+
+    TraceRecord
+    next() override
+    {
+        TraceRecord r;
+        if (!reader_.next(r)) {
+            reader_.rewind();
+            reader_.next(r);
+        }
+        return r;
+    }
+
+    std::string name() const override { return reader_.header().name; }
+    Addr footprint() const override { return reader_.header().footprint; }
+
+    const TraceHeader &header() const { return reader_.header(); }
+
+  private:
+    TraceReader reader_;
+};
+
+} // namespace trace
+} // namespace tacsim
+
+#endif // TACSIM_TRACE_READER_HH

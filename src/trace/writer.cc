@@ -1,0 +1,84 @@
+#include "trace/writer.hh"
+
+#include <stdexcept>
+
+namespace tacsim {
+namespace trace {
+
+TraceWriter::TraceWriter(const std::string &path, TraceHeader header)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw std::runtime_error("trace: cannot open for writing: " +
+                                 path);
+    header.recordCount = 0; // patched by finalize()
+    const std::vector<unsigned char> hdr = encodeHeader(header);
+    if (std::fwrite(hdr.data(), 1, hdr.size(), file_) != hdr.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw std::runtime_error("trace: header write failed: " + path);
+    }
+    buffer_.reserve(kFlushBytes + 32);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_) {
+        try {
+            finalize();
+        } catch (...) {
+            // Destructor cleanup: the file is already broken; swallow.
+            if (file_) {
+                std::fclose(file_);
+                file_ = nullptr;
+            }
+        }
+    }
+}
+
+void
+TraceWriter::flush()
+{
+    if (buffer_.empty())
+        return;
+    crc_ = crc32(crc_, buffer_.data(), buffer_.size());
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size())
+        throw std::runtime_error("trace: payload write failed: " + path_);
+    buffer_.clear();
+}
+
+void
+TraceWriter::finalize()
+{
+    if (!file_)
+        return;
+    flush();
+
+    const std::vector<unsigned char> foot = encodeFooter(count_, crc_);
+    bool ok =
+        std::fwrite(foot.data(), 1, foot.size(), file_) == foot.size();
+
+    // Patch the header's recordCount now that the stream length is
+    // known; readers rely on it to find the payload end.
+    const auto patchU64 = [&](std::size_t offset, std::uint64_t v) {
+        unsigned char le[8];
+        for (unsigned i = 0; i < 8; ++i)
+            le[i] = static_cast<unsigned char>(v >> (8 * i));
+        return std::fseek(file_, static_cast<long>(offset), SEEK_SET) ==
+            0 &&
+            std::fwrite(le, 1, sizeof le, file_) == sizeof le;
+    };
+    ok = ok && patchU64(kHeaderCountOffset, count_);
+    if (patchFootprint_)
+        ok = ok && patchU64(kHeaderFootprintOffset, footprint_);
+
+    ok = std::fclose(file_) == 0 && ok;
+    file_ = nullptr;
+    if (!ok)
+        throw std::runtime_error("trace: finalize failed: " + path_);
+}
+
+} // namespace trace
+} // namespace tacsim

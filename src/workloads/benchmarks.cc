@@ -1,5 +1,8 @@
 #include "workloads/benchmarks.hh"
 
+#include <stdexcept>
+
+#include "trace/reader.hh"
 #include "workloads/canneal.hh"
 #include "workloads/graph.hh"
 #include "workloads/mcf.hh"
@@ -144,6 +147,33 @@ makeWorkload(Benchmark b, std::uint64_t seed)
       }
     }
     return nullptr;
+}
+
+std::optional<Benchmark>
+benchmarkFromName(const std::string &name)
+{
+    for (Benchmark b : kAllBenchmarks)
+        if (name == benchmarkName(b))
+            return b;
+    return std::nullopt;
+}
+
+std::unique_ptr<Workload>
+makeWorkloadFromSpec(const std::string &spec, std::uint64_t seed)
+{
+    constexpr const char *kTracePrefix = "trace:";
+    if (spec.rfind(kTracePrefix, 0) == 0) {
+        const std::string path = spec.substr(6);
+        if (path.empty())
+            throw std::runtime_error(
+                "workload spec 'trace:' needs a file path");
+        return std::make_unique<trace::TraceFileWorkload>(path);
+    }
+    if (const std::optional<Benchmark> b = benchmarkFromName(spec))
+        return makeWorkload(*b, seed);
+    throw std::runtime_error(
+        "unknown workload spec '" + spec +
+        "' (expected a Table-II benchmark name or trace:<path>)");
 }
 
 } // namespace tacsim

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/trace.hh"
@@ -68,6 +69,20 @@ std::string categoryName(MpkiCategory c);
  * @param seed perturbs the procedural content (distinct SMT/MC copies)
  */
 std::unique_ptr<Workload> makeWorkload(Benchmark b, std::uint64_t seed = 1);
+
+/** Benchmark for a Table-II name ("mcf", ...), nullopt if unknown. */
+std::optional<Benchmark> benchmarkFromName(const std::string &name);
+
+/**
+ * Build a workload from a spec string:
+ *   - a Table-II benchmark name ("mcf", "pr", ...) selects the synthetic
+ *     generator, seeded with @p seed exactly like makeWorkload();
+ *   - "trace:<path>" replays a recorded `tacsim-trace-v1` file
+ *     (src/trace/) — @p seed is ignored, the stream is the file's.
+ * Throws std::runtime_error for an unknown spec or unreadable trace.
+ */
+std::unique_ptr<Workload> makeWorkloadFromSpec(const std::string &spec,
+                                               std::uint64_t seed = 1);
 
 } // namespace tacsim
 

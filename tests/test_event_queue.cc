@@ -205,6 +205,56 @@ TEST(EventQueue, ExecutedCountsAllFiredEvents)
     EXPECT_EQ(eq.executed(), 0u);
 }
 
+TEST(EventQueue, HeapMigrationAtExactWindowBoundary)
+{
+    // At t=0 the calendar covers [0, 1024): cycle 1023 is the last
+    // bucketed cycle and cycle 1024 — exactly windowEnd — waits in the
+    // overflow heap. An event at cycle 1 slides the window to [1, 1025),
+    // migrating both boundary events in (when, seq) order; its callback
+    // then appends a third cycle-1024 event directly to the bucket,
+    // which must keep insertion order behind the migrated pair.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(1024, [&] { order.push_back(1); }); // heap, seq 0
+    eq.scheduleAt(1023, [&] { order.push_back(0); }); // bucket
+    eq.scheduleAt(1024, [&] { order.push_back(2); }); // heap, seq 2
+    eq.schedule(1, [&] { eq.scheduleAt(1024, [&] { order.push_back(3); }); });
+    eq.advanceTo(2000);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, WindowBoundaryCycleDoesNotAliasIntoCurrentBucket)
+{
+    // Cycles 0 and 1024 map to the same bucket index. The boundary
+    // condition must be strict (`when < windowEnd`): an off-by-one that
+    // bucketed cycle 1024 at t=0 would fire it 1024 cycles early,
+    // aliased into cycle 0's FIFO.
+    EventQueue eq;
+    std::vector<Cycle> times;
+    auto record = [&] { times.push_back(eq.now()); };
+    eq.scheduleAt(0, record);
+    eq.scheduleAt(1024, record);
+    eq.advanceTo(1500);
+    EXPECT_EQ(times, (std::vector<Cycle>{0, 1024}));
+}
+
+TEST(EventQueue, EventExactlyAtNewWindowEndStaysDeferred)
+{
+    // After the window advances to [1, 1025), cycle 1024 migrates into
+    // its bucket but cycle 1025 — exactly the new windowEnd — must stay
+    // in the heap, and still fire at the right time later.
+    EventQueue eq;
+    std::vector<Cycle> times;
+    auto record = [&] { times.push_back(eq.now()); };
+    eq.scheduleAt(1024, record);
+    eq.scheduleAt(1025, record);
+    eq.schedule(1, [] {});
+    eq.advanceTo(1024);
+    EXPECT_EQ(times, (std::vector<Cycle>{1024}));
+    eq.advanceTo(1025);
+    EXPECT_EQ(times, (std::vector<Cycle>{1024, 1025}));
+}
+
 TEST(EventQueue, ResetDropsFarFutureEventsToo)
 {
     // Pending overflow-heap events must be destroyed on reset (their
