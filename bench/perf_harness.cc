@@ -11,13 +11,17 @@
  *
  * Usage:
  *   tacsim-perf [--instructions N] [--warmup N] [--out FILE] [--quick]
- *               [--trace FILE]
+ *               [--trace FILE] [--sample-interval N]
+ *               [--timeseries PATTERN] [--chrome-trace PATTERN]
  *
  * --quick shrinks the matrix to two benchmarks for smoke runs. --trace
  * replaces the synthetic matrix with a recorded `tacsim-trace-v1` file
  * replayed under both configs (throughput on a fixed, shareable input).
- * Points execute serially by default so per-point wall times are not
- * polluted by sibling points; set TACSIM_JOBS to override.
+ * --timeseries / --chrome-trace enable the observability sinks on every
+ * point; the patterns should contain "{key}" (expanded with the point's
+ * sweep key) so points write distinct files. Points execute serially by
+ * default so per-point wall times are not polluted by sibling points;
+ * set TACSIM_JOBS to override.
  *
  * JSON schema "tacsim-bench-v1":
  *   { schema, title, host{cpus, compiler, os}, budget{instructions,
@@ -55,6 +59,11 @@ struct Options
     std::string out = "BENCH_perf.json";
     std::string trace; ///< replay this trace instead of the matrix
     bool quick = false;
+
+    // Observability sinks, applied to every point when non-empty.
+    std::uint64_t sampleInterval = 0;
+    std::string timeseries;
+    std::string chromeTrace;
 };
 
 Options
@@ -81,11 +90,19 @@ parseArgs(int argc, char **argv)
             o.trace = value();
         } else if (arg == "--quick") {
             o.quick = true;
+        } else if (arg == "--sample-interval") {
+            o.sampleInterval = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--timeseries") {
+            o.timeseries = value();
+        } else if (arg == "--chrome-trace") {
+            o.chromeTrace = value();
         } else {
             std::fprintf(stderr,
                          "usage: tacsim-perf [--instructions N] "
                          "[--warmup N] [--out FILE] [--quick] "
-                         "[--trace FILE]\n");
+                         "[--trace FILE] [--sample-interval N] "
+                         "[--timeseries PATTERN] "
+                         "[--chrome-trace PATTERN]\n");
             std::exit(arg == "--help" ? 0 : 2);
         }
     }
@@ -126,12 +143,17 @@ main(int argc, char **argv)
     }
     SweepRunner sweep(jobs);
 
-    const SystemConfig baseline{};
+    SystemConfig baseline{};
     SystemConfig proposed{};
     {
         TranslationAwareOptions ta;
         ta.tempo = true;
         applyTranslationAware(proposed, ta);
+    }
+    for (SystemConfig *cfg : {&baseline, &proposed}) {
+        cfg->obs.sampleInterval = opt.sampleInterval;
+        cfg->obs.timeseriesPath = opt.timeseries;
+        cfg->obs.chromeTracePath = opt.chromeTrace;
     }
 
     const std::pair<const char *, const SystemConfig *> configs[] = {

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "mem/request_pool.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -24,6 +26,68 @@ Cache::Cache(CacheParams params, EventQueue &eq, MemDevice *lower,
         prefetcher_->setIssuer(this);
     if (params_.profileRecall)
         profiler_ = std::make_unique<RecallProfiler>(params_.sets);
+}
+
+void
+Cache::resetStats()
+{
+    stats_.reset();
+    if (profiler_)
+        profiler_->reset();
+    policy_->resetStats();
+}
+
+void
+Cache::registerMetrics(obs::Registry &registry, const std::string &prefix)
+{
+    static const char *const kCatSlug[kNumBlockCats] = {
+        "nonreplay", "replay", "pt_leaf", "pt_upper", "prefetch",
+        "writeback",
+    };
+    for (std::size_t c = 0; c < kNumBlockCats; ++c) {
+        const std::string cat = std::string(".") + kCatSlug[c];
+        registry.addCounter(prefix + ".accesses" + cat,
+                            &stats_.accesses[c]);
+        registry.addCounter(prefix + ".hits" + cat, &stats_.hits[c]);
+        registry.addCounter(prefix + ".misses" + cat, &stats_.misses[c]);
+    }
+    registry.addCounter(prefix + ".fills", &stats_.fills);
+    registry.addCounter(prefix + ".bypassed_fills",
+                        &stats_.bypassedFills);
+    registry.addCounter(prefix + ".writebacks_out",
+                        &stats_.writebacksOut);
+    registry.addCounter(prefix + ".mshr.merges", &stats_.mshrMerges);
+    registry.addCounter(prefix + ".mshr.full_events",
+                        &stats_.mshrFullEvents);
+    registry.addCounter(prefix + ".pf.issued", &stats_.prefetchIssued);
+    registry.addCounter(prefix + ".pf.dropped", &stats_.prefetchDropped);
+    registry.addCounter(prefix + ".pf.useful", &stats_.prefetchUseful);
+    registry.addCounter(prefix + ".pf.late", &stats_.prefetchLate);
+    registry.addCounter(prefix + ".atp.issued", &stats_.atpIssued);
+    registry.addCounter(prefix + ".atp.useful", &stats_.atpUseful);
+    registry.addCounter(prefix + ".tempo.useful", &stats_.tempoUseful);
+    registry.addCounter(prefix + ".ideal_grants", &stats_.idealGrants);
+    if (profiler_) {
+        registry.addHistogram(prefix + ".recall.translation",
+                              &profiler_->translationHist());
+        registry.addHistogram(prefix + ".recall.replay",
+                              &profiler_->replayHist());
+        registry.addHistogram(prefix + ".recall.data",
+                              &profiler_->nonReplayHist());
+    }
+    policy_->registerMetrics(registry, prefix + ".repl");
+    if (prefetcher_)
+        prefetcher_->registerMetrics(registry, prefix + ".pf");
+    registry.addResetHook([this] { resetStats(); });
+}
+
+void
+Cache::setTracer(obs::ChromeTracer *tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_)
+        mshrNameId_ = tracer_->intern("mshr_occupancy");
 }
 
 int
@@ -203,6 +267,9 @@ Cache::handleMiss(const MemRequestPtr &req, const AccessInfo &ai)
     e.waiters.push_back(req);
     e.demandWaiting = !isPrefetch;
     mshrs_.insert(blockAddr, std::move(e));
+    if (tracer_)
+        tracer_->counter(track_, mshrNameId_, eq_.now(),
+                         double(mshrs_.size()));
     forwardMiss(blockAddr);
 }
 
@@ -253,6 +320,9 @@ Cache::handleFill(Addr blockAddr, RespSource src)
     TACSIM_CHECK(slot != nullptr && "fill without MSHR");
     MshrEntry entry = std::move(*slot);
     mshrs_.erase(blockAddr);
+    if (tracer_)
+        tracer_->counter(track_, mshrNameId_, eq_.now(),
+                         double(mshrs_.size()));
 
     ++stats_.fills;
     const std::uint32_t set = setIndex(blockAddr);

@@ -32,6 +32,11 @@
 
 namespace tacsim {
 
+namespace obs {
+class ChromeTracer;
+class Registry;
+} // namespace obs
+
 /** Aggregate counters for one cache level, split by traffic class. */
 struct CacheStats
 {
@@ -120,7 +125,23 @@ class Cache : public MemDevice, public PrefetchIssuer
     bool contains(Addr paddr) const;
 
     const CacheStats &stats() const { return stats_; }
-    void resetStats() { stats_.reset(); }
+
+    /** Zero every statistic this level owns, including the recall
+     *  profiler and the policy's stat counters. */
+    void resetStats();
+
+    /**
+     * Register every counter/histogram under "@p prefix." and hand the
+     * replacement policy ("@p prefix.repl") and prefetcher
+     * ("@p prefix.pf") their sub-prefixes. Also installs the reset hook
+     * so Registry::resetAll() covers this level.
+     */
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
+
+    /** Attach a Chrome tracer; MSHR occupancy is emitted as counter
+     *  events on @p track. Pass nullptr to detach. */
+    void setTracer(obs::ChromeTracer *tracer, std::uint32_t track);
 
     const CacheParams &params() const { return params_; }
     ReplPolicy &policy() { return *policy_; }
@@ -190,6 +211,10 @@ class Cache : public MemDevice, public PrefetchIssuer
     std::unique_ptr<ReplPolicy> policy_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<RecallProfiler> profiler_;
+
+    obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
+    std::uint32_t track_ = 0;
+    std::uint32_t mshrNameId_ = 0;
 
     SetIndexer indexer_;
     std::vector<BlockMeta> blocks_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -139,6 +140,17 @@ std::string
 CsaltPolicy::name() const
 {
     return "CSALT(" + inner_->name() + ")";
+}
+
+void
+CsaltPolicy::registerMetrics(obs::Registry &registry,
+                             const std::string &prefix)
+{
+    // The way quota is architectural partitioning state (persists across
+    // stats resets), hence a gauge rather than a counter.
+    registry.addGauge(prefix + ".csalt.quota",
+                      [this] { return double(quota_); });
+    inner_->registerMetrics(registry, prefix);
 }
 
 } // namespace tacsim

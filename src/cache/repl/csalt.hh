@@ -37,6 +37,9 @@ class CsaltPolicy : public ReplPolicy
     void onEvict(std::uint32_t set, std::uint32_t way,
                  const BlockMeta &meta) override;
     std::string name() const override;
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix) override;
+    void resetStats() override { inner_->resetStats(); }
     void checkInvariants(const std::string &owner) const override;
 
     /** Current translation way quota — exposed for tests. */

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/rng.hh"
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -114,6 +115,21 @@ std::string
 DeadBlockPolicy::name() const
 {
     return "CbPred(" + inner_->name() + ")";
+}
+
+void
+DeadBlockPolicy::registerMetrics(obs::Registry &registry,
+                                 const std::string &prefix)
+{
+    registry.addCounter(prefix + ".cbpred.bypasses", &bypasses_);
+    inner_->registerMetrics(registry, prefix);
+}
+
+void
+DeadBlockPolicy::resetStats()
+{
+    bypasses_ = 0;
+    inner_->resetStats();
 }
 
 } // namespace tacsim

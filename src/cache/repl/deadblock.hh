@@ -43,6 +43,9 @@ class DeadBlockPolicy : public ReplPolicy
                  const BlockMeta &meta) override;
     bool bypassFill(std::uint32_t set, const AccessInfo &ai) override;
     std::string name() const override;
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix) override;
+    void resetStats() override;
     void checkInvariants(const std::string &owner) const override;
 
     std::uint64_t bypasses() const { return bypasses_; }

@@ -21,6 +21,20 @@ policyKindName(PolicyKind kind)
     return "?";
 }
 
+std::string
+metricSlug(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c >= 'A' && c <= 'Z')
+            out += static_cast<char>(c - 'A' + 'a');
+        else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            out += c;
+    }
+    return out.empty() ? std::string("policy") : out;
+}
+
 std::unique_ptr<ReplPolicy>
 makePolicy(PolicyKind kind, std::uint32_t sets, std::uint32_t ways,
            ReplOpts opts, std::uint64_t seed)

@@ -21,6 +21,10 @@
 
 namespace tacsim {
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 /**
  * Flags layering the paper's enhancements on a baseline policy.
  *
@@ -101,6 +105,25 @@ class ReplPolicy
 
     virtual std::string name() const = 0;
 
+    /**
+     * Register observable state under "@p prefix.<slug>." (see
+     * metricSlug): set-dueling PSEL, way quotas, bypass counters.
+     * Training tables (SHCT, RRPVs) are not metrics. Default: nothing.
+     */
+    virtual void registerMetrics(obs::Registry &registry,
+                                 const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+    /**
+     * Zero statistic counters (not training state — set-dueling and
+     * predictor tables persist across a stats reset just like cache
+     * contents do). Default: nothing to reset.
+     */
+    virtual void resetStats() {}
+
     std::uint32_t sets() const { return sets_; }
     std::uint32_t ways() const { return ways_; }
     const ReplOpts &opts() const { return opts_; }
@@ -125,6 +148,10 @@ enum class PolicyKind
 
 /** Human-readable policy-kind name ("DRRIP", ...). */
 std::string policyKindName(PolicyKind kind);
+
+/** Metric-name slug of a policy name: lowercase alphanumerics only
+ *  ("T-DRRIP" -> "tdrrip", "SHiP" -> "ship"). */
+std::string metricSlug(const std::string &name);
 
 /** Build a policy instance. */
 std::unique_ptr<ReplPolicy> makePolicy(PolicyKind kind, std::uint32_t sets,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -173,6 +174,16 @@ DrripPolicy::name() const
     if (opts_.translationRrpv0 || opts_.replayEvictFast)
         return "T-DRRIP";
     return "DRRIP";
+}
+
+void
+DrripPolicy::registerMetrics(obs::Registry &registry,
+                             const std::string &prefix)
+{
+    // PSEL is architectural set-dueling state: exposed as a gauge so the
+    // timeline shows insertion-policy flips, exempt from stats resets.
+    registry.addGauge(prefix + "." + metricSlug(name()) + ".psel",
+                      [this] { return double(psel_); });
 }
 
 } // namespace tacsim

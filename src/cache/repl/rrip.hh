@@ -104,6 +104,8 @@ class DrripPolicy : public RripBase
     void onFill(std::uint32_t set, std::uint32_t way,
                 const AccessInfo &ai) override;
     std::string name() const override;
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix) override;
     void checkInvariants(const std::string &owner) const override;
 
     /** Exposed for tests. */

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace tacsim {
 
 /**
@@ -61,6 +63,12 @@ class Histogram
     double
     fractionAtOrBelow(std::uint64_t bound) const
     {
+        // A non-bucket bound cannot be answered from bucket counts: the
+        // loop below would silently return the partial sum up to the
+        // nearest lower bound, which reads like a valid fraction.
+        TACSIM_DCHECK(
+            std::binary_search(bounds_.begin(), bounds_.end(), bound) &&
+            "fractionAtOrBelow bound must be an exact bucket bound");
         if (!n_)
             return 0.0;
         std::uint64_t c = 0;

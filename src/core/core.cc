@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mem/request_pool.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/registry.hh"
 
 namespace tacsim {
 
@@ -232,8 +234,50 @@ Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay)
     }
 
     req->type = ReqType::Load;
-    req->onComplete = [this, seq](MemRequest &) { completeEntry(seq); };
+    if (tracer_ && replay) {
+        const Cycle t0 = eq_.now();
+        req->onComplete = [this, seq, t0](MemRequest &) {
+            tracer_->span(track_, replayLoadId_, t0, eq_.now());
+            completeEntry(seq);
+        };
+    } else {
+        req->onComplete = [this, seq](MemRequest &) {
+            completeEntry(seq);
+        };
+    }
     l1d_.access(req);
+}
+
+void
+Core::registerMetrics(obs::Registry &registry, const std::string &prefix)
+{
+    registry.addCounter(prefix + ".retired", &stats_.retired);
+    registry.addCounter(prefix + ".loads", &stats_.loads);
+    registry.addCounter(prefix + ".stores", &stats_.stores);
+    registry.addCounter(prefix + ".stlb_miss_accesses",
+                        &stats_.stlbMissAccesses);
+    registry.addCounter(prefix + ".stall_cycles.translation",
+                        &stats_.stallCyclesT);
+    registry.addCounter(prefix + ".stall_cycles.replay",
+                        &stats_.stallCyclesR);
+    registry.addCounter(prefix + ".stall_cycles.other",
+                        &stats_.stallCyclesN);
+    registry.addHistogram(prefix + ".stall_per_walk",
+                          &stats_.stallPerWalk);
+    registry.addHistogram(prefix + ".stall_per_replay",
+                          &stats_.stallPerReplay);
+    registry.addHistogram(prefix + ".stall_per_nonreplay",
+                          &stats_.stallPerNonReplay);
+    registry.addResetHook([this] { resetStats(); });
+}
+
+void
+Core::setTracer(obs::ChromeTracer *tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_)
+        replayLoadId_ = tracer_->intern("replay_load");
 }
 
 void

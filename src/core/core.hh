@@ -31,6 +31,11 @@
 
 namespace tacsim {
 
+namespace obs {
+class ChromeTracer;
+class Registry;
+} // namespace obs
+
 struct CoreParams
 {
     unsigned robSize = 352;
@@ -93,6 +98,15 @@ class Core
     void resetStats() { stats_.reset(); }
     const CoreParams &params() const { return params_; }
 
+    /** Register retirement/stall counters and histograms under
+     *  "@p prefix.", plus the reset hook. */
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
+
+    /** Attach a Chrome tracer; every replay load's issue-to-data window
+     *  is emitted as a span on @p track. Pass nullptr to detach. */
+    void setTracer(obs::ChromeTracer *tracer, std::uint32_t track);
+
   private:
     struct RobEntry
     {
@@ -146,6 +160,10 @@ class Core
 
     std::int64_t lastLoadSeq_ = -1;
     std::vector<std::uint64_t> waitingOnProducer_;
+
+    obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
+    std::uint32_t track_ = 0;
+    std::uint32_t replayLoadId_ = 0;
 
     CoreStats stats_;
 };

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/rng.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -13,6 +15,35 @@ Dram::Dram(std::string name, EventQueue &eq, DramParams p)
     channels_.resize(params_.channels);
     for (auto &ch : channels_)
         ch.banks.resize(params_.banksPerChannel);
+}
+
+void
+Dram::registerMetrics(obs::Registry &registry, const std::string &prefix)
+{
+    registry.addCounter(prefix + ".reads", &stats_.reads);
+    registry.addCounter(prefix + ".writes", &stats_.writes);
+    registry.addCounter(prefix + ".row_hits", &stats_.rowHits);
+    registry.addCounter(prefix + ".row_misses", &stats_.rowMisses);
+    registry.addCounter(prefix + ".row_conflicts",
+                        &stats_.rowConflicts);
+    registry.addCounter(prefix + ".translation_reads",
+                        &stats_.translationReads);
+    registry.addCounter(prefix + ".tempo_prefetches",
+                        &stats_.tempoPrefetches);
+    registry.addCounter(prefix + ".busy_cycles", &stats_.busyCycles);
+    registry.addResetHook([this] { resetStats(); });
+}
+
+void
+Dram::setTracer(obs::ChromeTracer *tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_) {
+        rowHitId_ = tracer_->intern("row_hit");
+        rowMissId_ = tracer_->intern("row_miss");
+        rowConflictId_ = tracer_->intern("row_conflict");
+    }
 }
 
 unsigned
@@ -49,16 +80,22 @@ Dram::serviceLine(Addr paddr, bool isWrite)
         start = bank.readyAt;
 
     Cycle accessLat;
+    std::uint32_t rowEventId;
     if (bank.rowValid && bank.openRow == row) {
         accessLat = params_.tCas;
         ++stats_.rowHits;
+        rowEventId = rowHitId_;
     } else if (!bank.rowValid) {
         accessLat = params_.tRcd + params_.tCas;
         ++stats_.rowMisses;
+        rowEventId = rowMissId_;
     } else {
         accessLat = params_.tRp + params_.tRcd + params_.tCas;
         ++stats_.rowConflicts;
+        rowEventId = rowConflictId_;
     }
+    if (tracer_)
+        tracer_->instant(track_, rowEventId, start);
     bank.rowValid = true;
     bank.openRow = row;
 

@@ -28,6 +28,11 @@
 
 namespace tacsim {
 
+namespace obs {
+class ChromeTracer;
+class Registry;
+} // namespace obs
+
 /** Tuning knobs for one DRAM channel (all in core cycles @ 4 GHz). */
 struct DramParams
 {
@@ -85,6 +90,15 @@ class Dram : public MemDevice
     const DramStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /** Register controller counters under "@p prefix.", plus the reset
+     *  hook. */
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
+
+    /** Attach a Chrome tracer; row-buffer hits/misses/conflicts are
+     *  emitted as instant events on @p track. Pass nullptr to detach. */
+    void setTracer(obs::ChromeTracer *tracer, std::uint32_t track);
+
     const DramParams &params() const { return params_; }
 
     /** Verify controller invariants: channel/bank geometry matches the
@@ -119,6 +133,12 @@ class Dram : public MemDevice
     std::vector<Channel> channels_;
     DramStats stats_;
     TempoHook tempoHook_;
+
+    obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
+    std::uint32_t track_ = 0;
+    std::uint32_t rowHitId_ = 0;
+    std::uint32_t rowMissId_ = 0;
+    std::uint32_t rowConflictId_ = 0;
 };
 
 } // namespace tacsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto) event exporter for the
+ * timeline view of a run: page-walk lifetimes, replay-load latencies,
+ * MSHR occupancy and DRAM row activity.
+ *
+ * Components hold a `ChromeTracer *` that is null unless tracing was
+ * requested, so the disabled cost is one pointer test on paths that are
+ * already off the common case (miss handling, walk completion). Event
+ * names are interned once at wiring time; emitting an event is an
+ * append to an in-memory buffer. finish() stable-sorts by (track, ts)
+ * — Perfetto expects monotonic timestamps per track — and writes the
+ * JSON object format, one event per line. Timestamps are core cycles
+ * reported as microseconds (1 us = 1 cycle); only relative spans
+ * matter.
+ */
+
+#ifndef TACSIM_OBS_CHROME_TRACE_HH
+#define TACSIM_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tacsim {
+namespace obs {
+
+class ChromeTracer
+{
+  public:
+    /** Opens @p path at finish() time; the constructor only records it.
+     */
+    explicit ChromeTracer(std::string path);
+    ~ChromeTracer();
+
+    ChromeTracer(const ChromeTracer &) = delete;
+    ChromeTracer &operator=(const ChromeTracer &) = delete;
+
+    /** Register a track (rendered as one named row); returns its id. */
+    std::uint32_t addTrack(const std::string &name);
+
+    /** Intern an event name; returns its id. */
+    std::uint32_t intern(const std::string &name);
+
+    /** Complete event ("X"): [start, end] on @p track. */
+    void span(std::uint32_t track, std::uint32_t nameId, Cycle start,
+              Cycle end);
+
+    /** Counter event ("C"): a stepped value series on @p track. */
+    void counter(std::uint32_t track, std::uint32_t nameId, Cycle ts,
+                 double value);
+
+    /** Instant event ("i"): a point-in-time marker on @p track. */
+    void instant(std::uint32_t track, std::uint32_t nameId, Cycle ts);
+
+    /** Sort, write the file, release the buffer. Idempotent; called by
+     *  ~System. Returns false on I/O failure (also reported on stderr).
+     */
+    bool finish();
+
+    std::uint64_t events() const { return buffer_.size() + dropped_; }
+    std::uint64_t dropped() const { return dropped_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    /** Buffer bound: a runaway run degrades to a truncated trace (the
+     *  drop count is recorded in the file) instead of eating all RAM. */
+    static constexpr std::size_t kMaxEvents = std::size_t{1} << 22;
+
+    struct Event
+    {
+        std::uint32_t track;
+        std::uint32_t nameId;
+        char phase; // 'X', 'C', 'i'
+        Cycle ts;
+        Cycle dur;    // X only
+        double value; // C only
+    };
+
+    void push(const Event &e);
+
+    std::string path_;
+    std::vector<std::string> names_;
+    std::vector<std::string> tracks_;
+    std::vector<Event> buffer_;
+    std::uint64_t dropped_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace obs
+} // namespace tacsim
+
+#endif // TACSIM_OBS_CHROME_TRACE_HH

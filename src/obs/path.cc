@@ -1,0 +1,34 @@
+#include "obs/path.hh"
+
+namespace tacsim {
+namespace obs {
+
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+            (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+expandPointPath(const std::string &pattern, const std::string &key)
+{
+    static const std::string kPlaceholder = "{key}";
+    std::string out = pattern;
+    const std::string token = sanitizeKey(key);
+    std::size_t pos = 0;
+    while ((pos = out.find(kPlaceholder, pos)) != std::string::npos) {
+        out.replace(pos, kPlaceholder.size(), token);
+        pos += token.size();
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace tacsim

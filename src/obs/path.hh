@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Output-path templating for per-point observability files. Sweep keys
+ * ("mcf/proposed") become filesystem-safe tokens, and a "{key}"
+ * placeholder in a configured timeseries / chrome-trace path expands to
+ * that token — so one SystemConfig fanned out across a sweep writes one
+ * file per point, safely in parallel under TACSIM_JOBS.
+ */
+
+#ifndef TACSIM_OBS_PATH_HH
+#define TACSIM_OBS_PATH_HH
+
+#include <string>
+
+namespace tacsim {
+namespace obs {
+
+/** Map @p key to a filesystem-safe token: [A-Za-z0-9._-] kept, every
+ *  other byte (slashes, spaces...) becomes '_'. */
+std::string sanitizeKey(const std::string &key);
+
+/** Replace every "{key}" in @p pattern with sanitizeKey(@p key). */
+std::string expandPointPath(const std::string &pattern,
+                            const std::string &key);
+
+} // namespace obs
+} // namespace tacsim
+
+#endif // TACSIM_OBS_PATH_HH

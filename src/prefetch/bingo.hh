@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace tacsim {
@@ -32,6 +33,15 @@ class BingoPrefetcher : public Prefetcher
 
     void onAccess(const AccessInfo &ai, bool hit) override;
     std::string name() const override { return "Bingo"; }
+
+    void
+    registerMetrics(obs::Registry &registry,
+                    const std::string &prefix) override
+    {
+        registry.addGauge(prefix + ".bingo.history", [this] {
+            return double(longHistory_.size() + shortHistory_.size());
+        });
+    }
 
   private:
     struct AccumEntry

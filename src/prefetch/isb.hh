@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/registry.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace tacsim {
@@ -29,6 +30,14 @@ class IsbPrefetcher : public Prefetcher
 
     void onAccess(const AccessInfo &ai, bool hit) override;
     std::string name() const override { return "ISB"; }
+
+    void
+    registerMetrics(obs::Registry &registry,
+                    const std::string &prefix) override
+    {
+        registry.addGauge(prefix + ".isb.mappings",
+                          [this] { return double(ps_.size()); });
+    }
 
     /** Structural address of a physical block, 0 if unmapped (tests). */
     std::uint64_t

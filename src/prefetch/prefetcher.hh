@@ -24,6 +24,10 @@
 
 namespace tacsim {
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 /** Sink for prefetch requests (implemented by Cache). */
 class PrefetchIssuer
 {
@@ -55,6 +59,18 @@ class Prefetcher
     virtual void onPrefetchFill(Addr blockAddr) { (void)blockAddr; }
 
     virtual std::string name() const = 0;
+
+    /**
+     * Register observable predictor state under "@p prefix." — table
+     * occupancies, confidence gauges. Issue/useful counters live in the
+     * owning cache's stats, not here. Default: nothing.
+     */
+    virtual void
+    registerMetrics(obs::Registry &registry, const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
 
     void setIssuer(PrefetchIssuer *issuer) { issuer_ = issuer; }
     void setTranslateHook(TranslateHook h) { translate_ = std::move(h); }

@@ -21,6 +21,25 @@
 
 namespace tacsim {
 
+/**
+ * Observability outputs (src/obs/). Empty paths disable each sink, and
+ * a disabled sink costs nothing in the run loop. Paths may contain the
+ * literal "{key}" — the sweep runner expands it with the point's sweep
+ * key, the workload runner with the run label — so parallel points
+ * never write to the same file.
+ */
+struct ObsConfig
+{
+    /** Retired instructions between time-series samples (0 = 10000). */
+    std::uint64_t sampleInterval = 0;
+    /** tacsim-timeseries-v1 JSONL output path. */
+    std::string timeseriesPath;
+    /** Chrome-trace (Perfetto-loadable) JSON output path. */
+    std::string chromeTracePath;
+    /** Run label recorded in the time-series header. */
+    std::string label;
+};
+
 /** Geometry of one cache level. */
 struct CacheGeometry
 {
@@ -93,6 +112,8 @@ struct SystemConfig
      * makeWorkloadFromSpec).
      */
     std::string workload;
+
+    ObsConfig obs;
 
     std::uint64_t seed = 1;
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/path.hh"
+
 namespace tacsim {
 
 namespace {
@@ -217,7 +219,18 @@ runWorkloads(const SystemConfig &cfg,
         }
     }
 
-    System sys(cfg, std::move(workloads));
+    // Expand any "{key}" still present in the obs output paths with the
+    // run label (the sweep runner substitutes its more specific sweep
+    // key before this point; a plain runner call lands here directly).
+    SystemConfig runCfg = cfg;
+    runCfg.obs.timeseriesPath =
+        obs::expandPointPath(runCfg.obs.timeseriesPath, label);
+    runCfg.obs.chromeTracePath =
+        obs::expandPointPath(runCfg.obs.chromeTracePath, label);
+    if (runCfg.obs.label.empty())
+        runCfg.obs.label = label;
+
+    System sys(runCfg, std::move(workloads));
     sys.warmup(warmup);
     sys.run(instructionsPerThread);
     return collectResult(sys, label);

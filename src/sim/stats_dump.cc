@@ -104,6 +104,12 @@ parseDump(const std::string &text)
 
 } // namespace
 
+std::string
+dumpFullStats(const System &sys)
+{
+    return sys.metrics().dumpText();
+}
+
 std::vector<std::string>
 diffDumps(const std::string &expected, const std::string &actual)
 {

@@ -29,6 +29,14 @@ namespace tacsim {
 std::string dumpRunResult(const RunResult &r);
 
 /**
+ * Every metric the hierarchy registered, as deterministic "name value"
+ * lines (the registry-backed complement of dumpRunResult: raw counters
+ * per component rather than collapsed paper metrics). diffDumps works
+ * on this format too.
+ */
+std::string dumpFullStats(const System &sys);
+
+/**
  * Compare two dumps field by field. Returns human-readable difference
  * descriptions ("field: expected X, got Y"), empty when identical.
  * Missing/extra keys are reported as differences too.

@@ -10,10 +10,30 @@
 #include <utility>
 
 #include "common/host.hh"
+#include "obs/path.hh"
 
 namespace tacsim {
 
 namespace {
+
+/**
+ * Expand "{key}" in a point's obs output paths with the sweep key.
+ * Sweep keys are unique per point (the benchmark label is not — a
+ * baseline/proposed pair shares it), so concurrent points under
+ * TACSIM_JOBS never collide on an output file.
+ */
+SystemConfig
+configForPoint(const SystemConfig &cfg, const std::string &key)
+{
+    SystemConfig out = cfg;
+    out.obs.timeseriesPath =
+        obs::expandPointPath(out.obs.timeseriesPath, key);
+    out.obs.chromeTracePath =
+        obs::expandPointPath(out.obs.chromeTracePath, key);
+    if (out.obs.label.empty())
+        out.obs.label = key;
+    return out;
+}
 
 /** Minimal JSON string escape (quotes, backslash, control chars). */
 std::string
@@ -108,8 +128,8 @@ SweepRunner::addMix(const std::string &key, const SystemConfig &cfg,
             job.benchmark += "-";
         job.benchmark += benchmarkName(mix[t]);
     }
-    job.fn = [cfg, mix = std::move(mix), instr = job.instructions,
-              warm = job.warmup] {
+    job.fn = [cfg = configForPoint(cfg, key), mix = std::move(mix),
+              instr = job.instructions, warm = job.warmup] {
         return runMix(cfg, mix, instr, warm);
     };
     return addJob(std::move(job));
@@ -127,7 +147,8 @@ SweepRunner::addSpec(const std::string &key, const SystemConfig &cfg,
     job.seed = cfg.seed;
     // benchmark stays empty: execute() labels the outcome with the
     // workload's own name (trace headers carry the benchmark name).
-    job.fn = [cfg, spec, instr = job.instructions, warm = job.warmup] {
+    job.fn = [cfg = configForPoint(cfg, key), spec,
+              instr = job.instructions, warm = job.warmup] {
         return runSpec(cfg, spec, instr, warm);
     };
     return addJob(std::move(job));

@@ -4,6 +4,8 @@
 
 #include "cache/repl/csalt.hh"
 #include "cache/repl/deadblock.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/timeseries.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -148,6 +150,69 @@ System::System(SystemConfig cfg,
     }
 
     finishCycle_.assign(threads, 0);
+
+    // Metrics registration. Every component catalogues its counters /
+    // gauges / histograms once, here; the per-core prefix carries an
+    // index only when there is more than one instance (matching the
+    // "L2C" vs "L2C.0" component-name convention).
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::string tsuffix =
+            threads > 1 ? "." + std::to_string(t) : "";
+        cores_[t]->registerMetrics(registry_, "core" + tsuffix);
+    }
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        const std::string suffix =
+            cfg_.numCores > 1 ? "." + std::to_string(c) : "";
+        dtlb_[c]->registerMetrics(registry_, "dtlb" + suffix);
+        stlb_[c]->registerMetrics(registry_, "stlb" + suffix);
+        ptw_[c]->registerMetrics(registry_, "ptw" + suffix);
+        l1d_[c]->registerMetrics(registry_, "l1d" + suffix);
+        l2_[c]->registerMetrics(registry_, "l2c" + suffix);
+    }
+    llc_->registerMetrics(registry_, "llc");
+    dram_->registerMetrics(registry_, "dram");
+
+    // Timeline tracing (off unless a path was configured; components
+    // keep a null tracer pointer otherwise).
+    if (!cfg_.obs.chromeTracePath.empty()) {
+        tracer_ =
+            std::make_unique<obs::ChromeTracer>(cfg_.obs.chromeTracePath);
+        for (unsigned t = 0; t < threads; ++t)
+            cores_[t]->setTracer(
+                tracer_.get(),
+                tracer_->addTrack("Core." + std::to_string(t)));
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            const std::string suffix =
+                cfg_.numCores > 1 ? "." + std::to_string(c) : "";
+            ptw_[c]->setTracer(tracer_.get(),
+                               tracer_->addTrack("PTW" + suffix));
+            l1d_[c]->setTracer(
+                tracer_.get(), tracer_->addTrack(l1d_[c]->name()));
+            l2_[c]->setTracer(
+                tracer_.get(), tracer_->addTrack(l2_[c]->name()));
+        }
+        llc_->setTracer(tracer_.get(), tracer_->addTrack(llc_->name()));
+        dram_->setTracer(tracer_.get(),
+                         tracer_->addTrack(dram_->name()));
+    }
+
+    // Time-series sampling.
+    if (!cfg_.obs.timeseriesPath.empty()) {
+        const std::uint64_t interval =
+            cfg_.obs.sampleInterval ? cfg_.obs.sampleInterval : 10000;
+        sampler_ = std::make_unique<obs::Sampler>(
+            registry_, cfg_.obs.timeseriesPath, interval,
+            cfg_.obs.label.empty() ? std::string("tacsim")
+                                   : cfg_.obs.label);
+    }
+}
+
+System::~System()
+{
+    if (sampler_)
+        sampler_->finish(measuredInstructions(), cycle_);
+    if (tracer_)
+        tracer_->finish();
 }
 
 void
@@ -182,6 +247,8 @@ System::run(std::uint64_t instrPerThread)
                 --remaining;
             }
         }
+        if (sampler_)
+            sampler_->maybeSample(measuredInstructions(), cycle_);
         if (remaining == 0)
             break;
 
@@ -219,20 +286,15 @@ void
 System::resetStats()
 {
     cycleBase_ = cycle_;
-    for (auto &c : cores_)
-        c->resetStats();
-    for (auto &c : l1d_)
-        c->resetStats();
-    for (auto &c : l2_)
-        c->resetStats();
-    llc_->resetStats();
-    dram_->resetStats();
-    for (auto &t : dtlb_)
-        t->resetStats();
-    for (auto &t : stlb_)
-        t->resetStats();
-    for (auto &p : ptw_)
-        p->resetStats();
+    // Record where the reset fell before counters drop to zero.
+    const std::uint64_t instr = measuredInstructions();
+    // Every component installed a reset hook when it registered its
+    // metrics, so one call covers the whole hierarchy — including state
+    // the old per-component sweep missed (recall profilers, policy
+    // bypass counters).
+    registry_.resetAll();
+    if (sampler_)
+        sampler_->markReset(instr, cycle_);
 }
 
 std::uint64_t

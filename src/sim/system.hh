@@ -21,6 +21,7 @@
 #include "common/event_queue.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
+#include "obs/registry.hh"
 #include "sim/config.hh"
 #include "vm/page_table.hh"
 #include "vm/ptw.hh"
@@ -28,6 +29,11 @@
 #include "workloads/benchmarks.hh"
 
 namespace tacsim {
+
+namespace obs {
+class ChromeTracer;
+class Sampler;
+} // namespace obs
 
 namespace verify {
 class Checker;
@@ -39,6 +45,9 @@ class System
     /** @param workloads one per hardware thread (threads() of them). */
     System(SystemConfig cfg,
            std::vector<std::unique_ptr<Workload>> workloads);
+
+    /** Flushes the sampler and Chrome tracer (if configured). */
+    ~System();
 
     /**
      * Run until every thread has retired @p instrPerThread more
@@ -85,6 +94,13 @@ class System
     /** Total instructions retired across threads since resetStats(). */
     std::uint64_t measuredInstructions() const;
 
+    /** Every metric in the hierarchy, registered at construction. */
+    const obs::Registry &metrics() const { return registry_; }
+    /** Time-series sampler; null unless cfg.obs.timeseriesPath is set. */
+    obs::Sampler *sampler() { return sampler_.get(); }
+    /** Chrome tracer; null unless cfg.obs.chromeTracePath is set. */
+    obs::ChromeTracer *tracer() { return tracer_.get(); }
+
     /**
      * Attach an invariant verifier. In TACSIM_VERIFY builds the run loop
      * calls it back at its configured event interval and at the end of
@@ -120,6 +136,10 @@ class System
 
     std::vector<Cycle> finishCycle_;
     verify::Checker *checker_ = nullptr;
+
+    obs::Registry registry_;
+    std::unique_ptr<obs::Sampler> sampler_;
+    std::unique_ptr<obs::ChromeTracer> tracer_;
 };
 
 } // namespace tacsim

@@ -66,6 +66,28 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
     }
     header_.name.assign(name.begin(), name.end());
     payloadStart_ = static_cast<long>(kHeaderFixedBytes + nameLen);
+
+    // Locate the payload's end now: every valid file ends in a
+    // fixed-size footer, and the decoder must stop before it —
+    // otherwise a truncated payload would silently misdecode footer
+    // bytes as records instead of reporting the truncation.
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "seek failed");
+    }
+    const long fileSize = std::ftell(file_);
+    payloadEnd_ = fileSize - static_cast<long>(kFooterBytes);
+    if (payloadEnd_ < payloadStart_) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "file truncated (no room for footer)");
+    }
+    if (std::fseek(file_, payloadStart_, SEEK_SET) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fail(path, "seek failed");
+    }
     buffer_.reserve(kBufferBytes);
 }
 
@@ -78,7 +100,14 @@ TraceReader::~TraceReader()
 bool
 TraceReader::refill()
 {
-    buffer_.resize(kBufferBytes);
+    const long at = std::ftell(file_);
+    if (at < 0)
+        fail(path_, "ftell failed");
+    if (at >= payloadEnd_)
+        return false; // next byte would be the footer
+    const std::size_t want = std::min<std::size_t>(
+        kBufferBytes, static_cast<std::size_t>(payloadEnd_ - at));
+    buffer_.resize(want);
     const std::size_t got =
         std::fread(buffer_.data(), 1, buffer_.size(), file_);
     buffer_.resize(got);
@@ -90,7 +119,10 @@ unsigned char
 TraceReader::takeByte()
 {
     if (bufPos_ >= buffer_.size() && !refill())
-        fail(path_, "truncated payload");
+        fail(path_,
+             "payload truncated (decoded " + std::to_string(position_) +
+                 " of " + std::to_string(header_.recordCount) +
+                 " records)");
     return buffer_[bufPos_++];
 }
 
@@ -152,6 +184,10 @@ verifyTraceFile(const std::string &path)
     try {
         TraceReader reader(path);
         v.header = reader.header();
+        if (v.header.recordCount == 0) {
+            v.error = "empty trace (0 records)";
+            return v;
+        }
 
         TraceRecord r;
         while (reader.next(r)) {

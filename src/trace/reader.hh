@@ -21,9 +21,13 @@ namespace trace {
 
 /**
  * Sequential record decoder. Validates magic/version/header shape on
- * construction (throws std::runtime_error on malformed files); payload
- * integrity (CRC, counts, footer) is checked by verifyTraceFile(),
- * which decodes the whole file.
+ * construction, plus that the file is long enough to hold its
+ * fixed-size footer (throws std::runtime_error on malformed or
+ * truncated files); payload integrity (CRC, counts, footer contents)
+ * is checked by verifyTraceFile(), which decodes the whole file.
+ * Decoding never reads past the footer boundary, so a truncated
+ * payload reports the truncation instead of misdecoding footer bytes
+ * as records.
  */
 class TraceReader
 {
@@ -59,6 +63,7 @@ class TraceReader
     std::FILE *file_ = nullptr;
     TraceHeader header_;
     long payloadStart_ = 0;
+    long payloadEnd_ = 0; ///< first footer byte; decode stops here
 
     std::vector<unsigned char> buffer_;
     std::size_t bufPos_ = 0;

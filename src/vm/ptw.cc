@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "mem/request_pool.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -23,6 +25,42 @@ PageTableWalker::resetStats()
 {
     stats_.reset();
     pscs_.resetStats();
+}
+
+void
+PageTableWalker::registerMetrics(obs::Registry &registry,
+                                 const std::string &prefix)
+{
+    registry.addCounter(prefix + ".walks", &stats_.walks);
+    registry.addCounter(prefix + ".merged", &stats_.merged);
+    registry.addCounter(prefix + ".queued", &stats_.queued);
+    for (unsigned l = 1; l <= kPtLevels; ++l)
+        registry.addCounter(prefix + ".reads.l" + std::to_string(l),
+                            &stats_.levelReads[l - 1]);
+    registry.addCounter(prefix + ".leaf_from.l1d", &stats_.leafFromL1D);
+    registry.addCounter(prefix + ".leaf_from.l2c", &stats_.leafFromL2C);
+    registry.addCounter(prefix + ".leaf_from.llc", &stats_.leafFromLLC);
+    registry.addCounter(prefix + ".leaf_from.dram", &stats_.leafFromDram);
+    registry.addCounter(prefix + ".leaf_from.ideal",
+                        &stats_.leafFromIdeal);
+    registry.addHistogram(prefix + ".walk_latency", &stats_.walkLatency);
+    const PscStats &psc = pscs_.stats();
+    registry.addCounter(prefix + ".psc.lookups", &psc.lookups);
+    registry.addCounter(prefix + ".psc.full_misses", &psc.fullMisses);
+    // PSCL_l exists for l in 2..kPtLevels (hitsAtLevel is indexed l-1).
+    for (unsigned l = 2; l <= kPtLevels; ++l)
+        registry.addCounter(prefix + ".psc.hits.pscl" + std::to_string(l),
+                            &psc.hitsAtLevel[l - 1]);
+    registry.addResetHook([this] { resetStats(); });
+}
+
+void
+PageTableWalker::setTracer(obs::ChromeTracer *tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_)
+        walkNameId_ = tracer_->intern("walk");
 }
 
 void
@@ -125,6 +163,8 @@ PageTableWalker::finishWalk(const std::shared_ptr<WalkState> &ws,
       default: ++stats_.leafFromIdeal; break;
     }
     stats_.walkLatency.add(eq_.now() - ws->startedAt);
+    if (tracer_)
+        tracer_->span(track_, walkNameId_, ws->startedAt, eq_.now());
 
     // Fill the PSCs for every level we walked: PSCL_l learns the frame of
     // the level-(l-1) table.

@@ -36,6 +36,11 @@
 
 namespace tacsim {
 
+namespace obs {
+class ChromeTracer;
+class Registry;
+} // namespace obs
+
 struct PtwStats
 {
     std::uint64_t walks = 0;
@@ -94,6 +99,15 @@ class PageTableWalker
     const PscStats &pscStats() const { return pscs_.stats(); }
     PagingStructureCaches &pscs() { return pscs_; }
 
+    /** Register walker + PSC counters under "@p prefix.", plus the
+     *  reset hook. */
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
+
+    /** Attach a Chrome tracer; each finished walk is emitted as a span
+     *  on @p track. Pass nullptr to detach. */
+    void setTracer(obs::ChromeTracer *tracer, std::uint32_t track);
+
     unsigned activeWalks() const { return active_; }
 
     /**
@@ -133,6 +147,10 @@ class PageTableWalker
     Params params_;
     PagingStructureCaches pscs_;
     Tlb *stlb_ = nullptr;
+
+    obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
+    std::uint32_t track_ = 0;
+    std::uint32_t walkNameId_ = 0;
 
     std::unordered_map<std::uint16_t, PageTable *> spaces_;
     AddrMap<std::shared_ptr<WalkState>> inflight_;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/registry.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -103,6 +104,22 @@ void
 Tlb::resetStats()
 {
     stats_.reset();
+    if (profiler_)
+        profiler_->reset();
+}
+
+void
+Tlb::registerMetrics(obs::Registry &registry, const std::string &prefix)
+{
+    registry.addCounter(prefix + ".accesses", &stats_.accesses);
+    registry.addCounter(prefix + ".hits", &stats_.hits);
+    registry.addCounter(prefix + ".misses", &stats_.misses);
+    // A TLB's profiler only ever records translation recalls (entries
+    // are PTEs), so the replay/data histograms are not exported.
+    if (profiler_)
+        registry.addHistogram(prefix + ".recall.translation",
+                              &profiler_->translationHist());
+    registry.addResetHook([this] { resetStats(); });
 }
 
 void

@@ -24,6 +24,10 @@
 
 namespace tacsim {
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 struct TlbStats
 {
     std::uint64_t accesses = 0;
@@ -62,6 +66,11 @@ class Tlb
     Cycle latency() const { return latency_; }
     const TlbStats &stats() const { return stats_; }
     void resetStats();
+
+    /** Register counters (and recall histograms when profiled) under
+     *  "@p prefix.", plus the reset hook. */
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
     const std::string &name() const { return name_; }
     std::uint32_t entries() const { return sets_ * ways_; }
     std::uint32_t sets() const { return sets_; }

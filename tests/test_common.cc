@@ -154,6 +154,21 @@ TEST(Histogram, FractionAtOrBelow)
     EXPECT_DOUBLE_EQ(h.fractionAtOrBelow(100), 0.8);
 }
 
+TEST(HistogramDeathTest, FractionAtOrBelowRejectsNonBucketBound)
+{
+#if defined(TACSIM_VERIFY_ENABLED) || !defined(NDEBUG)
+    // A non-bucket bound cannot be answered from bucket counts; the
+    // silent alternative would be a partial sum that reads like a valid
+    // fraction.
+    Histogram h({10, 50, 100});
+    h.add(5);
+    EXPECT_DEATH_IF_SUPPORTED(h.fractionAtOrBelow(60),
+                              "exact bucket bound");
+#else
+    GTEST_SKIP() << "TACSIM_DCHECK compiled out in this build";
+#endif
+}
+
 TEST(Histogram, Labels)
 {
     Histogram h({10, 50});

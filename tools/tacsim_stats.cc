@@ -1,0 +1,372 @@
+/**
+ * @file
+ * tacsim-stats: command-line front end for `tacsim-timeseries-v1`
+ * files (the JSONL emitted by the obs::Sampler, see src/obs/).
+ *
+ *   summarize  print per-metric first/last/delta over a run, plus the
+ *              header metadata (label, interval, sample/reset counts)
+ *   diff       compare the final sample of two files metric by metric;
+ *              exit 1 when they differ (CI's determinism checks diff a
+ *              serial run against a TACSIM_JOBS run this way)
+ *
+ * The format is one JSON object per line and entirely produced by this
+ * repo, so parsing is a small purpose-built scanner rather than a JSON
+ * library: a header line carrying the column names, then sample lines
+ * `{"i":...,"c":...,"v":[...]}` interleaved with reset markers
+ * `{"event":"reset",...}`. Values are compared as the exact byte
+ * strings the sampler printed — determinism means byte-equal files, so
+ * diff must not round-trip through doubles.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+int
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: tacsim-stats <command> [options]\n"
+        "\n"
+        "  summarize FILE [--filter PREFIX] [--all]\n"
+        "  diff      FILE_A FILE_B\n"
+        "\n"
+        "summarize prints first/last/delta per metric over the run\n"
+        "(metrics that stayed zero are hidden unless --all; --filter\n"
+        "keeps only metric names starting with PREFIX). diff compares\n"
+        "the final sample of two tacsim-timeseries-v1 files and exits\n"
+        "1 when any metric differs.\n");
+    return code;
+}
+
+struct Sample
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycle = 0;
+    std::vector<std::string> values; ///< verbatim number tokens
+};
+
+struct TimeSeries
+{
+    std::string path;
+    std::string label;
+    std::uint64_t interval = 0;
+    std::vector<std::string> columns;
+    std::vector<Sample> samples;
+    std::uint64_t resets = 0;
+};
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &why)
+{
+    throw std::runtime_error(path + ": " + why);
+}
+
+/** Return the position just past `"key":`, or npos. */
+std::size_t
+findKey(const std::string &line, const char *key)
+{
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const std::size_t at = line.find(needle);
+    return at == std::string::npos ? at : at + needle.size();
+}
+
+std::uint64_t
+parseIntField(const std::string &path, const std::string &line,
+              const char *key)
+{
+    const std::size_t at = findKey(line, key);
+    if (at == std::string::npos)
+        fail(path, std::string("missing \"") + key + "\" field");
+    return std::strtoull(line.c_str() + at, nullptr, 10);
+}
+
+std::string
+parseStringField(const std::string &path, const std::string &line,
+                 const char *key)
+{
+    std::size_t at = findKey(line, key);
+    if (at == std::string::npos || at >= line.size() || line[at] != '"')
+        fail(path, std::string("missing \"") + key + "\" field");
+    ++at;
+    std::string out;
+    while (at < line.size() && line[at] != '"') {
+        if (line[at] == '\\' && at + 1 < line.size())
+            ++at;
+        out += line[at++];
+    }
+    return out;
+}
+
+/** Parse `"key":[ "a", "b", ... ]` (quoted strings, no nesting). */
+std::vector<std::string>
+parseStringArray(const std::string &path, const std::string &line,
+                 const char *key)
+{
+    std::size_t at = findKey(line, key);
+    if (at == std::string::npos || at >= line.size() || line[at] != '[')
+        fail(path, std::string("missing \"") + key + "\" array");
+    ++at;
+    std::vector<std::string> out;
+    while (at < line.size() && line[at] != ']') {
+        if (line[at] != '"')
+            fail(path, std::string("malformed \"") + key + "\" array");
+        ++at;
+        std::string item;
+        while (at < line.size() && line[at] != '"') {
+            if (line[at] == '\\' && at + 1 < line.size())
+                ++at;
+            item += line[at++];
+        }
+        if (at >= line.size())
+            fail(path, std::string("unterminated \"") + key + "\" array");
+        ++at; // closing quote
+        out.push_back(std::move(item));
+        if (at < line.size() && line[at] == ',')
+            ++at;
+    }
+    if (at >= line.size())
+        fail(path, std::string("unterminated \"") + key + "\" array");
+    return out;
+}
+
+/** Parse `"v":[1,2.5,...]` into verbatim number tokens. */
+std::vector<std::string>
+parseValueArray(const std::string &path, const std::string &line)
+{
+    std::size_t at = findKey(line, "v");
+    if (at == std::string::npos || at >= line.size() || line[at] != '[')
+        fail(path, "sample line missing \"v\" array");
+    ++at;
+    std::vector<std::string> out;
+    std::string token;
+    for (; at < line.size(); ++at) {
+        const char c = line[at];
+        if (c == ',' || c == ']') {
+            if (!token.empty())
+                out.push_back(token);
+            token.clear();
+            if (c == ']')
+                return out;
+        } else {
+            token += c;
+        }
+    }
+    fail(path, "unterminated \"v\" array");
+}
+
+TimeSeries
+loadTimeSeries(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fail(path, "cannot open file");
+
+    TimeSeries ts;
+    ts.path = path;
+
+    std::string line;
+    if (!std::getline(in, line) || line.empty())
+        fail(path, "empty file (expected tacsim-timeseries-v1 header)");
+    if (line.find("\"schema\":\"tacsim-timeseries-v1\"") ==
+        std::string::npos)
+        fail(path, "not a tacsim-timeseries-v1 file (bad header line)");
+    ts.label = parseStringField(path, line, "label");
+    ts.interval = parseIntField(path, line, "interval");
+    ts.columns = parseStringArray(path, line, "columns");
+
+    std::size_t lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (line.find("\"event\":\"reset\"") != std::string::npos) {
+            ++ts.resets;
+            continue;
+        }
+        Sample s;
+        s.instructions = parseIntField(path, line, "i");
+        s.cycle = parseIntField(path, line, "c");
+        s.values = parseValueArray(path, line);
+        if (s.values.size() != ts.columns.size())
+            fail(path,
+                 "line " + std::to_string(lineNo) + ": sample has " +
+                     std::to_string(s.values.size()) + " values for " +
+                     std::to_string(ts.columns.size()) + " columns");
+        ts.samples.push_back(std::move(s));
+    }
+    return ts;
+}
+
+bool
+isZero(const std::string &token)
+{
+    return std::strtod(token.c_str(), nullptr) == 0.0;
+}
+
+int
+cmdSummarize(const std::string &path, const std::string &filter,
+             bool showAll)
+{
+    const TimeSeries ts = loadTimeSeries(path);
+
+    std::printf("file       %s\n", ts.path.c_str());
+    std::printf("label      %s\n", ts.label.c_str());
+    std::printf("interval   %llu\n",
+                static_cast<unsigned long long>(ts.interval));
+    std::printf("columns    %zu\n", ts.columns.size());
+    std::printf("samples    %zu\n", ts.samples.size());
+    std::printf("resets     %llu\n",
+                static_cast<unsigned long long>(ts.resets));
+    if (ts.samples.empty()) {
+        std::printf("(no samples)\n");
+        return 0;
+    }
+    const Sample &first = ts.samples.front();
+    const Sample &last = ts.samples.back();
+    std::printf("range      i=%llu..%llu c=%llu..%llu\n",
+                static_cast<unsigned long long>(first.instructions),
+                static_cast<unsigned long long>(last.instructions),
+                static_cast<unsigned long long>(first.cycle),
+                static_cast<unsigned long long>(last.cycle));
+
+    std::printf("\n%-48s %16s %16s %16s\n", "metric", "first", "last",
+                "delta");
+    std::size_t shown = 0, hidden = 0;
+    for (std::size_t i = 0; i < ts.columns.size(); ++i) {
+        const std::string &name = ts.columns[i];
+        if (!filter.empty() && name.compare(0, filter.size(), filter) != 0)
+            continue;
+        const std::string &f = first.values[i];
+        const std::string &l = last.values[i];
+        if (!showAll && isZero(f) && isZero(l)) {
+            ++hidden;
+            continue;
+        }
+        const double delta = std::strtod(l.c_str(), nullptr) -
+            std::strtod(f.c_str(), nullptr);
+        std::printf("%-48s %16s %16s %16.12g\n", name.c_str(), f.c_str(),
+                    l.c_str(), delta);
+        ++shown;
+    }
+    if (hidden)
+        std::printf("(%zu all-zero metric%s hidden; --all shows them)\n",
+                    hidden, hidden == 1 ? "" : "s");
+    if (!filter.empty() && shown == 0 && hidden == 0)
+        std::printf("(no metrics match filter '%s')\n", filter.c_str());
+    return 0;
+}
+
+int
+cmdDiff(const std::string &pathA, const std::string &pathB)
+{
+    const TimeSeries a = loadTimeSeries(pathA);
+    const TimeSeries b = loadTimeSeries(pathB);
+
+    if (a.columns != b.columns) {
+        std::fprintf(stderr,
+                     "tacsim-stats: column sets differ (%zu vs %zu "
+                     "columns)\n",
+                     a.columns.size(), b.columns.size());
+        for (const std::string &c : a.columns)
+            if (std::find(b.columns.begin(), b.columns.end(), c) ==
+                b.columns.end())
+                std::fprintf(stderr, "  only in %s: %s\n", pathA.c_str(),
+                             c.c_str());
+        for (const std::string &c : b.columns)
+            if (std::find(a.columns.begin(), a.columns.end(), c) ==
+                a.columns.end())
+                std::fprintf(stderr, "  only in %s: %s\n", pathB.c_str(),
+                             c.c_str());
+        return 1;
+    }
+    if (a.samples.empty() || b.samples.empty()) {
+        std::fprintf(stderr, "tacsim-stats: %s has no samples\n",
+                     a.samples.empty() ? pathA.c_str() : pathB.c_str());
+        return 1;
+    }
+
+    const Sample &fa = a.samples.back();
+    const Sample &fb = b.samples.back();
+    std::size_t diffs = 0;
+    if (fa.instructions != fb.instructions ||
+        fa.cycle != fb.cycle) {
+        std::printf("endpoint: i=%llu c=%llu vs i=%llu c=%llu\n",
+                    static_cast<unsigned long long>(fa.instructions),
+                    static_cast<unsigned long long>(fa.cycle),
+                    static_cast<unsigned long long>(fb.instructions),
+                    static_cast<unsigned long long>(fb.cycle));
+        ++diffs;
+    }
+    for (std::size_t i = 0; i < a.columns.size(); ++i) {
+        if (fa.values[i] == fb.values[i])
+            continue;
+        std::printf("%s: %s vs %s\n", a.columns[i].c_str(),
+                    fa.values[i].c_str(), fb.values[i].c_str());
+        ++diffs;
+    }
+    if (diffs) {
+        std::fprintf(stderr,
+                     "tacsim-stats: %zu metric%s differ between %s "
+                     "and %s\n",
+                     diffs, diffs == 1 ? "" : "s", pathA.c_str(),
+                     pathB.c_str());
+        return 1;
+    }
+    std::printf("%s and %s: final samples identical (%zu metrics)\n",
+                pathA.c_str(), pathB.c_str(), a.columns.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(2);
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "help")
+        return usage(0);
+
+    try {
+        if (cmd == "summarize") {
+            std::string path, filter;
+            bool showAll = false;
+            for (int i = 2; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--all") {
+                    showAll = true;
+                } else if (arg == "--filter") {
+                    if (i + 1 >= argc)
+                        return usage(2);
+                    filter = argv[++i];
+                } else if (path.empty()) {
+                    path = arg;
+                } else {
+                    return usage(2);
+                }
+            }
+            if (path.empty())
+                return usage(2);
+            return cmdSummarize(path, filter, showAll);
+        }
+        if (cmd == "diff") {
+            if (argc != 4)
+                return usage(2);
+            return cmdDiff(argv[2], argv[3]);
+        }
+        return usage(2);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tacsim-stats: %s\n", e.what());
+        return 1;
+    }
+}

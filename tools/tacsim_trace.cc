@@ -223,9 +223,15 @@ cmdInfo(const std::string &path)
     std::printf("records     %llu\n",
                 static_cast<unsigned long long>(h.recordCount));
     std::printf("file bytes  %ld\n", bytes);
-    if (h.recordCount)
+    if (h.recordCount) {
         std::printf("bytes/rec   %.2f\n",
                     double(bytes) / double(h.recordCount));
+    } else {
+        std::fprintf(stderr,
+                     "tacsim-trace: %s: empty trace (0 records)\n",
+                     path.c_str());
+        return 1;
+    }
     return 0;
 }
 
