@@ -27,6 +27,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -93,6 +94,47 @@ proposedConfig(bool tempo = true)
     TranslationAwareOptions o;
     o.tempo = tempo;
     applyTranslationAware(cfg, o);
+    return cfg;
+}
+
+/**
+ * Optional VM axes for the figure binaries (TACSIM_VM_AXES=1): rerun a
+ * figure's comparison under THP-style huge pages and nested (guest×host)
+ * translation. Off by default so the standard point set — and the
+ * perf-smoke baseline — is unchanged.
+ */
+struct VmAxis
+{
+    const char *name; ///< sweep-key segment, e.g. "thp50"
+    double thp2m;
+    double thp1g;
+    bool nested;
+};
+
+inline bool
+vmAxesRequested()
+{
+    const char *v = std::getenv("TACSIM_VM_AXES");
+    return v && *v && std::string(v) != "0";
+}
+
+inline const std::vector<VmAxis> &
+vmAxes()
+{
+    static const std::vector<VmAxis> axes = {
+        {"thp50", 0.5, 0.0, false},
+        {"thp", 1.0, 0.0, false},
+        {"nested", 0.0, 0.0, true},
+    };
+    return axes;
+}
+
+inline SystemConfig
+withVmAxis(SystemConfig cfg, const VmAxis &a)
+{
+    cfg.vm.hugePages2M = a.thp2m;
+    cfg.vm.hugePages1G = a.thp1g;
+    cfg.vm.nested = a.nested;
     return cfg;
 }
 

@@ -65,6 +65,22 @@ main(int argc, char **argv)
         for (Benchmark b : kAllBenchmarks)
             registerPoint(stepKey(s, benchmarkName(b)), stepConfig(s), b);
 
+    // Optional VM axes: does the full scheme still pay off when huge
+    // pages shrink the walk burden, or when nesting multiplies it?
+    if (vmAxesRequested()) {
+        for (const VmAxis &a : vmAxes()) {
+            for (Benchmark b : kAllBenchmarks) {
+                const std::string bname = benchmarkName(b);
+                registerPoint("vm/" + std::string(a.name) + "/base/" +
+                                  bname,
+                              withVmAxis(baselineConfig(), a), b);
+                registerPoint("vm/" + std::string(a.name) + "/prop/" +
+                                  bname,
+                              withVmAxis(proposedConfig(), a), b);
+            }
+        }
+    }
+
     // Phase 2/3 (in benchMain): execute the sweep, then these cases
     // fetch the memoized results and derive the figure's rows.
     for (const Step &s : kSteps) {
@@ -82,6 +98,33 @@ main(int argc, char **argv)
                 series[step.name].push_back(sp);
                 if (step.opts.tempo)
                     onChip += r.leafOnChipHitRate;
+            });
+        }
+    }
+
+    if (vmAxesRequested()) {
+        for (const VmAxis &a : vmAxes()) {
+            const VmAxis axis = a;
+            registerCase("fig14/vm/" + std::string(a.name), [axis] {
+                std::vector<double> sp;
+                double mpki = 0;
+                for (Benchmark b : kAllBenchmarks) {
+                    const std::string bname = benchmarkName(b);
+                    const std::string pre =
+                        "vm/" + std::string(axis.name) + "/";
+                    const RunResult &base =
+                        cachedRun(pre + "base/" + bname,
+                                  withVmAxis(baselineConfig(), axis), b);
+                    const RunResult &prop =
+                        cachedRun(pre + "prop/" + bname,
+                                  withVmAxis(proposedConfig(), axis), b);
+                    sp.push_back(speedup(base, prop));
+                    mpki += base.stlbMpki;
+                }
+                addRow(std::string("vm:") + axis.name, "geomean",
+                       (geomean(sp) - 1) * 100, std::nan(""), "%");
+                addRow(std::string("vm:") + axis.name, "base STLB MPKI",
+                       mpki / 9.0, std::nan(""), "");
             });
         }
     }

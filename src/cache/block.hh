@@ -36,7 +36,11 @@ categorize(const MemRequest &req)
 {
     switch (req.type) {
       case ReqType::Translation:
-        return req.ptLevel == 1 ? BlockCat::PtLeaf : BlockCat::PtUpper;
+        // The leaf may sit at level 2/3 (huge pages), and nested host
+        // reads are upper-level traffic even at host level 1 — so the
+        // request's explicit leaf flag decides, not the level number.
+        return req.isLeafTranslation() ? BlockCat::PtLeaf
+                                       : BlockCat::PtUpper;
       case ReqType::Prefetch:
         return BlockCat::Prefetch;
       case ReqType::Writeback:
@@ -69,13 +73,15 @@ struct AccessInfo
     Addr ip = 0;
     BlockCat cat = BlockCat::NonReplay;
     std::uint8_t ptLevel = 0; ///< 1..5 for translations, else 0
+    bool leafPte = false;     ///< translation read of the leaf PTE
+    PageSize pageSize = PageSize::Size4K; ///< data page granule
     bool isReplay = false;
     bool distantHint = false; ///< insert with eviction priority (ATP/TEMPO)
     PrefetchOrigin origin = PrefetchOrigin::None;
     std::uint16_t cpu = 0;
 
     bool isTranslation() const { return ptLevel != 0; }
-    bool isLeafTranslation() const { return ptLevel == 1; }
+    bool isLeafTranslation() const { return leafPte; }
 };
 
 /** Build an AccessInfo from a request. */
@@ -88,6 +94,8 @@ accessInfoFor(const MemRequest &req)
     ai.ip = req.ip;
     ai.cat = categorize(req);
     ai.ptLevel = req.ptLevel;
+    ai.leafPte = req.leafPte;
+    ai.pageSize = req.pageSize;
     ai.isReplay = req.isReplay;
     ai.distantHint = req.prefetchOrigin == PrefetchOrigin::Atp ||
         req.prefetchOrigin == PrefetchOrigin::Tempo;

@@ -293,6 +293,8 @@ Cache::forwardMiss(Addr blockAddr)
             ? ReqType::Load // stores fetch ownership as reads below L1
             : primary->type;
         child->ptLevel = primary->ptLevel;
+        child->leafPte = primary->leafPte;
+        child->pageSize = primary->pageSize;
         child->isReplay = primary->isReplay;
         child->replayBlockPaddr = primary->replayBlockPaddr;
         child->prefetchOrigin = primary->prefetchOrigin;

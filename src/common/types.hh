@@ -7,6 +7,7 @@
 #ifndef TACSIM_COMMON_TYPES_HH
 #define TACSIM_COMMON_TYPES_HH
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +99,88 @@ constexpr Addr
 pageNumber(Addr a)
 {
     return a >> kPageBits;
+}
+
+/**
+ * Translation granule of one mapping. The radix table supports a leaf at
+ * level 1 (4KB), level 2 (2MB) or level 3 (1GB) — each level adds
+ * kPtIndexBits to the offset, exactly the x86-64 4K/2M/1G page sizes.
+ */
+enum class PageSize : std::uint8_t
+{
+    Size4K = 0,
+    Size2M = 1,
+    Size1G = 2,
+};
+
+constexpr unsigned kNumPageSizes = 3;
+
+constexpr std::array<PageSize, kNumPageSizes> kAllPageSizes = {
+    PageSize::Size4K, PageSize::Size2M, PageSize::Size1G};
+
+/** Page-table level whose PTE is the leaf for @p ps (1 = 4K ... 3 = 1G). */
+constexpr unsigned
+leafLevelOf(PageSize ps)
+{
+    return 1u + static_cast<unsigned>(ps);
+}
+
+/** Page size mapped by a leaf PTE at @p level (1..3). */
+constexpr PageSize
+pageSizeForLevel(unsigned level)
+{
+    return static_cast<PageSize>(level - 1);
+}
+
+/** Number of offset bits in a page of size @p ps (12 / 21 / 30). */
+constexpr unsigned
+pageShift(PageSize ps)
+{
+    return kPageBits + static_cast<unsigned>(ps) * kPtIndexBits;
+}
+
+/** Page size in bytes (4K / 2M / 1G). */
+constexpr Addr
+pageBytes(PageSize ps)
+{
+    return Addr{1} << pageShift(ps);
+}
+
+/** Strip the page offset for a page of size @p ps. */
+constexpr Addr
+pageAlign(Addr a, PageSize ps)
+{
+    return a & ~(pageBytes(ps) - 1);
+}
+
+/** Offset of @p a within its page of size @p ps. */
+constexpr Addr
+pageOffset(Addr a, PageSize ps)
+{
+    return a & (pageBytes(ps) - 1);
+}
+
+/** Page number of @p a at granule @p ps. */
+constexpr Addr
+pageNumber(Addr a, PageSize ps)
+{
+    return a >> pageShift(ps);
+}
+
+/** Short name for reports/metrics ("4k", "2m", "1g"). */
+constexpr const char *
+pageSizeName(PageSize ps)
+{
+    return ps == PageSize::Size4K ? "4k"
+        : ps == PageSize::Size2M  ? "2m"
+                                  : "1g";
+}
+
+/** The smaller of two granules (effective nested translation size). */
+constexpr PageSize
+minPageSize(PageSize a, PageSize b)
+{
+    return static_cast<unsigned>(a) < static_cast<unsigned>(b) ? a : b;
 }
 
 /**

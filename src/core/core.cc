@@ -166,23 +166,25 @@ Core::issueMemOp(std::uint64_t seq)
     RobEntry &e = entryFor(seq);
     e.issued = true;
 
-    const Addr vpn = pageNumber(e.vaddr);
-    Addr pfn = 0;
+    // TLB entries carry their own granule: the hit side returns the
+    // mapping's page size so the offset mask is never assumed 4K.
+    Addr pfnBase = 0;
+    PageSize ps = PageSize::Size4K;
 
-    if (dtlb_.lookup(params_.asid, vpn, pfn)) {
-        const Addr paddr = pfn | (e.vaddr & (kPageSize - 1));
-        eq_.schedule(dtlb_.latency(), [this, seq, paddr] {
-            startDataAccess(seq, paddr, false);
+    if (dtlb_.lookup(params_.asid, e.vaddr, pfnBase, ps)) {
+        const Addr paddr = pfnBase | pageOffset(e.vaddr, ps);
+        eq_.schedule(dtlb_.latency(), [this, seq, paddr, ps] {
+            startDataAccess(seq, paddr, false, ps);
         });
         return;
     }
 
-    if (stlb_.lookup(params_.asid, vpn, pfn)) {
-        dtlb_.fill(params_.asid, vpn, pfn);
-        const Addr paddr = pfn | (e.vaddr & (kPageSize - 1));
+    if (stlb_.lookup(params_.asid, e.vaddr, pfnBase, ps)) {
+        dtlb_.fill(params_.asid, e.vaddr, pfnBase, ps);
+        const Addr paddr = pfnBase | pageOffset(e.vaddr, ps);
         eq_.schedule(dtlb_.latency() + stlb_.latency(),
-                     [this, seq, paddr] {
-                         startDataAccess(seq, paddr, false);
+                     [this, seq, paddr, ps] {
+                         startDataAccess(seq, paddr, false, ps);
                      });
         return;
     }
@@ -196,22 +198,24 @@ Core::issueMemOp(std::uint64_t seq)
     eq_.schedule(dtlb_.latency() + stlb_.latency(), [this, seq, vaddr,
                                                      ip] {
         ptw_.walk(params_.asid, vaddr, ip, params_.cpuId,
-                  [this, seq, vaddr](Addr dataPaddr, RespSource) {
-                      dtlb_.fill(params_.asid, pageNumber(vaddr),
-                                 pageAlign(dataPaddr));
+                  [this, seq, vaddr](Addr dataPaddr, PageSize ps,
+                                     RespSource) {
+                      dtlb_.fill(params_.asid, vaddr,
+                                 pageAlign(dataPaddr, ps), ps);
                       // The replay re-issues only after the STLB and
                       // DTLB fills complete — the window ATP exploits.
                       eq_.schedule(
                           stlb_.latency() + dtlb_.latency(),
-                          [this, seq, dataPaddr] {
-                              startDataAccess(seq, dataPaddr, true);
+                          [this, seq, dataPaddr, ps] {
+                              startDataAccess(seq, dataPaddr, true, ps);
                           });
                   });
     });
 }
 
 void
-Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay)
+Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay,
+                      PageSize ps)
 {
     RobEntry &e = entryFor(seq);
     e.wait = replay ? StallKind::Replay : StallKind::Other;
@@ -221,6 +225,7 @@ Core::startDataAccess(std::uint64_t seq, Addr paddr, bool replay)
     req->vaddr = e.vaddr;
     req->ip = e.ip;
     req->isReplay = replay;
+    req->pageSize = ps;
     req->cpu = params_.cpuId;
     req->issuedAt = eq_.now();
 

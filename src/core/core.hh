@@ -141,7 +141,8 @@ class Core
     void dispatchOne();
     void tryIssue(std::uint64_t seq);
     void issueMemOp(std::uint64_t seq);
-    void startDataAccess(std::uint64_t seq, Addr paddr, bool replay);
+    void startDataAccess(std::uint64_t seq, Addr paddr, bool replay,
+                         PageSize ps = PageSize::Size4K);
     void completeEntry(std::uint64_t seq);
     void wakeDependents(std::uint64_t producerSeq);
 

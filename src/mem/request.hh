@@ -73,8 +73,18 @@ class MemRequest
     ReqType type = ReqType::Load;
 
     /** Page-table level for Translation requests: 1 = leaf ... 5 = root,
-     *  0 for data requests. */
+     *  0 for data requests. In nested mode this is the level within the
+     *  dimension (guest or host) that issued the read. */
     std::uint8_t ptLevel = 0;
+
+    /** Translation request reading the *leaf* PTE — the read that ends
+     *  the translation. With huge pages the leaf may sit at level 2 or 3,
+     *  and in nested mode host reads are never the leaf, so this is a
+     *  flag rather than a ptLevel comparison. */
+    bool leafPte = false;
+
+    /** Mapping granule of the data page (demand/prefetch requests). */
+    PageSize pageSize = PageSize::Size4K;
 
     /** Demand data access whose translation missed the STLB. */
     bool isReplay = false;
@@ -101,7 +111,7 @@ class MemRequest
     /** True for PTW reads of the leaf page-table level. */
     bool isLeafTranslation() const
     {
-        return type == ReqType::Translation && ptLevel == 1;
+        return type == ReqType::Translation && leafPte;
     }
 
     bool isTranslation() const { return type == ReqType::Translation; }

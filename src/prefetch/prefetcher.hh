@@ -77,13 +77,16 @@ class Prefetcher
 
   protected:
     /** Issue a physical-address prefetch, clamped to the same page as
-     *  @p basePaddr (physical pages are not contiguous). */
+     *  @p basePaddr (physical pages are not contiguous). @p ps is the
+     *  mapping's actual granule — a 2M page gives 512x the reach of the
+     *  old hardcoded-4K clamp. */
     void
-    issueSamePage(Addr basePaddr, std::int64_t blockDelta, Addr ip)
+    issueSamePage(Addr basePaddr, std::int64_t blockDelta, Addr ip,
+                  PageSize ps = PageSize::Size4K)
     {
         const Addr target = Addr(std::int64_t(blockAlign(basePaddr)) +
                                  blockDelta * std::int64_t(kBlockSize));
-        if (issuer_ && pageAlign(target) == pageAlign(basePaddr))
+        if (issuer_ && pageAlign(target, ps) == pageAlign(basePaddr, ps))
             issuer_->issuePrefetch(target, PrefetchOrigin::DataPrefetcher,
                                    ip);
     }

@@ -36,7 +36,8 @@ IpStridePrefetcher::onAccess(const AccessInfo &ai, bool)
     if (e.confidence >= 2) {
         for (unsigned d = 1; d <= degree_; ++d)
             issueSamePage(ai.blockAddr,
-                          e.stride * static_cast<std::int64_t>(d), ai.ip);
+                          e.stride * static_cast<std::int64_t>(d), ai.ip,
+                          ai.pageSize);
     }
 }
 

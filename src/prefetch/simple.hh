@@ -26,7 +26,7 @@ class NextLinePrefetcher : public Prefetcher
     {
         for (unsigned d = 1; d <= degree_; ++d)
             issueSamePage(ai.blockAddr, static_cast<std::int64_t>(d),
-                          ai.ip);
+                          ai.ip, ai.pageSize);
     }
 
     std::string name() const override { return "next-line"; }

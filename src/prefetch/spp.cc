@@ -44,10 +44,10 @@ SppPrefetcher::train(std::uint32_t sig, std::int32_t delta)
 
 void
 SppPrefetcher::lookahead(Addr pageBase, std::int32_t offset,
-                         std::uint32_t sig, Addr ip)
+                         std::uint32_t sig, Addr ip, PageSize ps)
 {
-    constexpr std::int32_t blocksPerPage =
-        static_cast<std::int32_t>(kPageSize / kBlockSize);
+    const std::int32_t blocksPerPage =
+        static_cast<std::int32_t>(pageBytes(ps) / kBlockSize);
     double confidence = 1.0;
     std::int32_t o = offset;
     std::uint32_t s = sig;
@@ -70,7 +70,7 @@ SppPrefetcher::lookahead(Addr pageBase, std::int32_t offset,
         o += p.delta[best];
         if (o < 0 || o >= blocksPerPage)
             return; // SPP does not cross physical pages
-        issueSamePage(pageBase + Addr(o) * kBlockSize, 0, ip);
+        issueSamePage(pageBase + Addr(o) * kBlockSize, 0, ip, ps);
         s = updateSignature(s, p.delta[best]);
     }
 }
@@ -78,13 +78,20 @@ SppPrefetcher::lookahead(Addr pageBase, std::int32_t offset,
 void
 SppPrefetcher::onAccess(const AccessInfo &ai, bool)
 {
-    const Addr page = pageNumber(ai.blockAddr);
+    // Pages are tracked at the mapping's own granule: with 2M/1G pages
+    // the physically-contiguous region SPP may cover grows accordingly.
+    const PageSize ps = ai.pageSize;
+    const Addr page = pageNumber(ai.blockAddr, ps);
     const std::int32_t offset = static_cast<std::int32_t>(
-        (ai.blockAddr & (kPageSize - 1)) >> kBlockBits);
+        pageOffset(ai.blockAddr, ps) >> kBlockBits);
 
     SigEntry &e = sigEntry(page);
     std::uint32_t sig = 0;
-    if (e.valid && e.pageTag == page && e.lastOffset >= 0) {
+    // A page number only identifies a page together with its granule
+    // (2M page n and 4K page n are different regions), so a granule
+    // mismatch is a tag miss.
+    if (e.valid && e.pageTag == page && e.pageSize == ps &&
+        e.lastOffset >= 0) {
         const std::int32_t delta = offset - e.lastOffset;
         if (delta != 0) {
             train(e.signature, delta);
@@ -94,13 +101,14 @@ SppPrefetcher::onAccess(const AccessInfo &ai, bool)
         }
     } else {
         e.pageTag = page;
+        e.pageSize = ps;
         e.valid = true;
         sig = updateSignature(0, offset); // first touch: seed with offset
     }
     e.signature = sig;
     e.lastOffset = offset;
 
-    lookahead(pageAlign(ai.blockAddr), offset, sig, ai.ip);
+    lookahead(pageAlign(ai.blockAddr, ps), offset, sig, ai.ip, ps);
 }
 
 } // namespace tacsim

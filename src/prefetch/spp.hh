@@ -48,6 +48,7 @@ class SppPrefetcher : public Prefetcher
         Addr pageTag = 0;
         std::uint32_t signature = 0;
         std::int32_t lastOffset = -1;
+        PageSize pageSize = PageSize::Size4K; ///< granule of pageTag
         bool valid = false;
     };
 
@@ -62,7 +63,7 @@ class SppPrefetcher : public Prefetcher
     PatternEntry &pattern(std::uint32_t sig);
     void train(std::uint32_t sig, std::int32_t delta);
     void lookahead(Addr pageBase, std::int32_t offset, std::uint32_t sig,
-                   Addr ip);
+                   Addr ip, PageSize ps);
 
     std::array<SigEntry, kSigTableEntries> sigTable_;
     std::array<PatternEntry, kPatternEntries> patternTable_;

@@ -55,6 +55,33 @@ struct CacheGeometry
     }
 };
 
+/**
+ * Virtual-memory regime: huge-page coverage and nested (virtualized)
+ * translation. Defaults reproduce the paper's bare-metal all-4K setup;
+ * the fractions model THP-style promotion (the deterministic per-region
+ * policy in vm/page_table.hh).
+ */
+struct VmConfig
+{
+    /** Fraction of 2M-aligned guest regions backed by 2M pages. */
+    double hugePages2M = 0.0;
+    /** Fraction of 1G-aligned guest regions backed by 1G pages. */
+    double hugePages1G = 0.0;
+    /** Nested 2D translation: guest tables hold guest-physical
+     *  addresses, each resolved by a host walk (up to
+     *  (gL+1)*hL + gL references per STLB miss). */
+    bool nested = false;
+    /** Host-dimension huge-page coverage (nested mode only). */
+    double hostHugePages2M = 0.0;
+    double hostHugePages1G = 0.0;
+
+    bool
+    anyHugePages() const
+    {
+        return hugePages2M > 0.0 || hugePages1G > 0.0;
+    }
+};
+
 struct SystemConfig
 {
     unsigned numCores = 1;
@@ -103,6 +130,8 @@ struct SystemConfig
     bool profileStlbRecall = false;
 
     DramParams dram;
+
+    VmConfig vm;
 
     /**
      * Workload override. Empty (default) runs the benchmark passed to

@@ -32,9 +32,24 @@ System::System(SystemConfig cfg,
     TACSIM_CHECK(workloads_.size() == threads &&
                  "need one workload per hardware thread");
 
-    // Page tables: one address space per thread.
+    // Page tables: one address space per thread. Huge-page coverage is
+    // a property of the (simulated) OS, so every thread shares the same
+    // promotion policy.
+    const HugePagePolicy guestPolicy{cfg_.vm.hugePages2M,
+                                     cfg_.vm.hugePages1G, cfg_.seed};
     for (unsigned t = 0; t < threads; ++t)
-        pageTables_.push_back(std::make_unique<PageTable>(frames_));
+        pageTables_.push_back(
+            std::make_unique<PageTable>(frames_, guestPolicy));
+
+    // Nested translation: one host address space translating every
+    // guest-physical address, with its own frame pool (host-physical).
+    if (cfg_.vm.nested) {
+        const HugePagePolicy hostPolicy{cfg_.vm.hostHugePages2M,
+                                        cfg_.vm.hostHugePages1G,
+                                        cfg_.seed + 1};
+        hostPageTable_ =
+            std::make_unique<PageTable>(hostFrames_, hostPolicy);
+    }
 
     // DRAM: one channel per four cores (Table I).
     DramParams dp = cfg_.dram;
@@ -118,11 +133,12 @@ System::System(SystemConfig cfg,
                 pf->setTranslateHook(
                     [dtlb, stlb](Addr vaddr,
                                  std::uint16_t cpu) -> std::optional<Addr> {
-                        const Addr vpn = pageNumber(vaddr);
-                        Addr pfn = 0;
-                        if (dtlb->probe(cpu, vpn, pfn) ||
-                            stlb->probe(cpu, vpn, pfn))
-                            return pfn | (vaddr & (kPageSize - 1));
+                        // probe() applies the hit entry's own offset
+                        // mask, so huge-page mappings translate right.
+                        Addr paddr = 0;
+                        if (dtlb->probe(cpu, vaddr, paddr) ||
+                            stlb->probe(cpu, vaddr, paddr))
+                            return paddr;
                         return std::nullopt;
                     });
             }
@@ -134,6 +150,8 @@ System::System(SystemConfig cfg,
         ptw_.push_back(std::make_unique<PageTableWalker>(
             eq_, l1d_[c].get(), cfg_.ptw));
         ptw_[c]->setStlb(stlb_[c].get());
+        if (hostPageTable_)
+            ptw_[c]->setNestedTranslation(hostPageTable_.get());
     }
 
     // Hardware threads.

@@ -88,6 +88,8 @@ class System
     Tlb &stlb(std::size_t coreIdx = 0) { return *stlb_[coreIdx]; }
     PageTableWalker &ptw(std::size_t coreIdx = 0) { return *ptw_[coreIdx]; }
     PageTable &pageTable(std::size_t t) { return *pageTables_[t]; }
+    /** Host (second-dimension) page table; null unless cfg.vm.nested. */
+    PageTable *hostPageTable() { return hostPageTable_.get(); }
     EventQueue &eventQueue() { return eq_; }
     const SystemConfig &config() const { return cfg_; }
 
@@ -122,8 +124,10 @@ class System
     Cycle runStartCycle_ = 0;
 
     FrameAllocator frames_;
+    FrameAllocator hostFrames_; ///< host-physical pool (nested mode)
     std::vector<std::unique_ptr<Workload>> workloads_;
     std::vector<std::unique_ptr<PageTable>> pageTables_;
+    std::unique_ptr<PageTable> hostPageTable_; ///< non-null when nested
 
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;

@@ -81,7 +81,8 @@ Checker::checkEventQueue() const
 void
 Checker::checkTlbAgainstPageTable(const Tlb &tlb) const
 {
-    tlb.forEachEntry([this, &tlb](std::uint16_t asid, Addr vpn, Addr pfn) {
+    tlb.forEachEntry([this, &tlb](std::uint16_t asid, Addr vpn, Addr pfn,
+                                  PageSize ps) {
         if (asid >= sys_.threads()) {
             std::ostringstream os;
             os << "entry for asid " << asid << " but only "
@@ -89,11 +90,30 @@ Checker::checkTlbAgainstPageTable(const Tlb &tlb) const
                << std::hex << vpn << ")";
             throw InvariantViolation(tlb.name(), "asid-range", os.str());
         }
+        const Addr vaddr = vpn << pageShift(ps);
         // Walking an already-mapped page is side-effect free; a VPN the
         // page table has never seen gets a fresh frame, which then
         // mismatches the cached PFN — also a violation, as intended.
-        const Addr truth = pageAlign(
-            sys_.pageTable(asid).walk(vpn << kPageBits).dataPaddr);
+        const PageTable::WalkResult g = sys_.pageTable(asid).walk(vaddr);
+        Addr truth;
+        PageSize truthSize = g.pageSize;
+        if (PageTable *host = sys_.hostPageTable()) {
+            // Nested mode: the cached translation is guest-VA to
+            // host-PA at the granule both dimensions support.
+            const PageTable::WalkResult h = host->walk(g.dataPaddr);
+            truthSize = minPageSize(g.pageSize, h.pageSize);
+            truth = pageAlign(h.dataPaddr, truthSize);
+        } else {
+            truth = pageAlign(g.dataPaddr, truthSize);
+        }
+        if (ps != truthSize) {
+            std::ostringstream os;
+            os << "asid " << asid << " vaddr 0x" << std::hex << vaddr
+               << std::dec << " cached at " << pageSizeName(ps)
+               << " but the mapping granule is "
+               << pageSizeName(truthSize);
+            throw InvariantViolation(tlb.name(), "tlb-pagesize", os.str());
+        }
         if (pfn != truth) {
             std::ostringstream os;
             os << "asid " << asid << " vpn 0x" << std::hex << vpn

@@ -6,6 +6,11 @@
  * upper levels. Four PSCs exist for a five-level table (PSCL5..PSCL2);
  * they are searched in parallel in one cycle, and the deepest hit wins
  * (paper §II-A, Table I: 2/4/8/32 entries).
+ *
+ * With huge pages a walk may terminate above level 1: a 2M mapping has
+ * no level-1 table, so PSCL2 must never hold an entry for that region.
+ * Each entry records the leaf level of the walk that installed it, which
+ * the verifier uses to catch fills for skipped levels.
  */
 
 #ifndef TACSIM_VM_PSC_HH
@@ -13,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -46,24 +52,42 @@ class PagingStructureCaches
      * @return the level the walk should *start* at (1..kPtLevels). A
      *         return of kPtLevels means full walk from the root; a return
      *         of 1 means only the leaf PTE must be read (PSCL2 hit).
+     *         For a huge-page mapping the walker clamps this to the
+     *         mapping's leaf level.
      */
     unsigned lookup(std::uint16_t asid, Addr vaddr, Addr &nextTableFrame);
 
     /**
      * Fill PSCL_l with the level-l entry: tag = VA bits for levels >= l,
-     * payload = frame of the level-(l-1) table.
+     * payload = frame of the level-(l-1) table. @p leafLevel is the leaf
+     * level of the walk doing the fill; a fill at or below the leaf is
+     * ignored (the child table does not exist).
      */
     void fill(std::uint16_t asid, Addr vaddr, unsigned level,
-              Addr childTableFrame);
+              Addr childTableFrame, unsigned leafLevel = 1);
 
     Cycle latency() const { return latency_; }
     const PscStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
     void flush();
 
+    /** Visit every valid entry as (level, asid, vaddr, frame, leafLevel);
+     *  vaddr is the filling VA truncated to the level's coverage. */
+    void forEachEntry(
+        const std::function<void(unsigned, std::uint16_t, Addr, Addr,
+                                 unsigned)> &fn) const;
+
     /** Verify per-PSC invariants: unique valid tags, LRU stamps behind
-     *  the clock, page-aligned frames. Throws verify::InvariantViolation. */
+     *  the clock, page-aligned frames, tags consistent with the recorded
+     *  VA, and no entry at or below its walk's leaf level.
+     *  Throws verify::InvariantViolation. */
     void checkInvariants() const;
+
+    /** Raw entry write bypassing fill()'s filters — verifier tests use
+     *  this to seed corrupted state (e.g. a PSCL2 entry for a 2M leaf). */
+    void pokeForTest(unsigned level, std::uint32_t index,
+                     std::uint16_t asid, Addr vaddr, Addr frame,
+                     unsigned leafLevel = 1);
 
     /** Tag for (asid, vaddr) at @p level — exposed for tests. */
     static std::uint64_t
@@ -79,7 +103,11 @@ class PagingStructureCaches
     {
         std::uint64_t tag = 0;
         Addr frame = 0;
+        /** Filling VA truncated to this level's coverage (for verify). */
+        Addr va = 0;
         std::uint64_t lru = 0;
+        std::uint16_t asid = 0;
+        std::uint8_t leafLevel = 1; ///< leaf level of the filling walk
         bool valid = false;
     };
 

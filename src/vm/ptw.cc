@@ -1,5 +1,6 @@
 #include "vm/ptw.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "mem/request_pool.hh"
@@ -21,10 +22,22 @@ PageTableWalker::addAddressSpace(std::uint16_t asid, PageTable *pt)
 }
 
 void
+PageTableWalker::setNestedTranslation(PageTable *host)
+{
+    hostTable_ = host;
+    if (host && !hostPscs_) {
+        hostPscs_ = std::make_unique<PagingStructureCaches>(
+            params_.pscSizes, params_.pscLatency);
+    }
+}
+
+void
 PageTableWalker::resetStats()
 {
     stats_.reset();
     pscs_.resetStats();
+    if (hostPscs_)
+        hostPscs_->resetStats();
 }
 
 void
@@ -37,6 +50,11 @@ PageTableWalker::registerMetrics(obs::Registry &registry,
     for (unsigned l = 1; l <= kPtLevels; ++l)
         registry.addCounter(prefix + ".reads.l" + std::to_string(l),
                             &stats_.levelReads[l - 1]);
+    for (PageSize ps : kAllPageSizes) {
+        registry.addCounter(
+            prefix + ".walks_" + pageSizeName(ps),
+            &stats_.walksBySize[static_cast<unsigned>(ps)]);
+    }
     registry.addCounter(prefix + ".leaf_from.l1d", &stats_.leafFromL1D);
     registry.addCounter(prefix + ".leaf_from.l2c", &stats_.leafFromL2C);
     registry.addCounter(prefix + ".leaf_from.llc", &stats_.leafFromLLC);
@@ -44,6 +62,7 @@ PageTableWalker::registerMetrics(obs::Registry &registry,
     registry.addCounter(prefix + ".leaf_from.ideal",
                         &stats_.leafFromIdeal);
     registry.addHistogram(prefix + ".walk_latency", &stats_.walkLatency);
+    registry.addHistogram(prefix + ".walk_refs", &stats_.walkRefs);
     const PscStats &psc = pscs_.stats();
     registry.addCounter(prefix + ".psc.lookups", &psc.lookups);
     registry.addCounter(prefix + ".psc.full_misses", &psc.fullMisses);
@@ -51,6 +70,21 @@ PageTableWalker::registerMetrics(obs::Registry &registry,
     for (unsigned l = 2; l <= kPtLevels; ++l)
         registry.addCounter(prefix + ".psc.hits.pscl" + std::to_string(l),
                             &psc.hitsAtLevel[l - 1]);
+    if (hostTable_) {
+        registry.addCounter(prefix + ".host_walks", &stats_.hostWalks);
+        for (unsigned l = 1; l <= kPtLevels; ++l)
+            registry.addCounter(
+                prefix + ".host_reads.l" + std::to_string(l),
+                &stats_.hostLevelReads[l - 1]);
+        const PscStats &hpsc = hostPscs_->stats();
+        registry.addCounter(prefix + ".host_psc.lookups", &hpsc.lookups);
+        registry.addCounter(prefix + ".host_psc.full_misses",
+                            &hpsc.fullMisses);
+        for (unsigned l = 2; l <= kPtLevels; ++l)
+            registry.addCounter(
+                prefix + ".host_psc.hits.pscl" + std::to_string(l),
+                &hpsc.hitsAtLevel[l - 1]);
+    }
     registry.addResetHook([this] { resetStats(); });
 }
 
@@ -99,6 +133,29 @@ PageTableWalker::walk(std::uint16_t asid, Addr vaddr, Addr ip,
     startWalk(std::move(ws));
 }
 
+PageTable::WalkResult
+PageTableWalker::appendHostWalk(WalkState &ws, Addr gpa)
+{
+    ++stats_.hostWalks;
+    PageTable::WalkResult h = hostTable_->walk(gpa);
+    Addr skipFrame = 0;
+    unsigned start = hostPscs_->lookup(kHostAsid, gpa, skipFrame);
+    start = std::max(start, h.leafLevel);
+    for (unsigned level = start; level >= h.leafLevel; --level) {
+        PendingRead r;
+        r.paddr = h.pteAddr[level - 1];
+        r.ptLevel = static_cast<std::uint8_t>(level);
+        r.isHost = true;
+        ws.reads.push_back(r);
+    }
+    // Reads within one walk are serial, so by the time the next sub-walk
+    // starts these fills have architecturally happened.
+    for (unsigned level = start; level >= 2; --level)
+        hostPscs_->fill(kHostAsid, gpa, level, h.tableFrame[level - 2],
+                        h.leafLevel);
+    return h;
+}
+
 void
 PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
 {
@@ -111,51 +168,101 @@ PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
 
     Addr skipFrame = 0;
     ws->startLevel = pscs_.lookup(ws->asid, ws->vaddr, skipFrame);
+    // A PSC hit can at best skip down to the mapping's leaf level; a 2M
+    // walk never reads a level-1 table because none exists.
+    ws->startLevel = std::max(ws->startLevel, ws->info.leafLevel);
+
+    if (!hostTable_) {
+        for (unsigned level = ws->startLevel;
+             level >= ws->info.leafLevel; --level) {
+            PendingRead r;
+            r.paddr = ws->info.pteAddr[level - 1];
+            r.ptLevel = static_cast<std::uint8_t>(level);
+            r.leafPte = (level == ws->info.leafLevel);
+            if (r.leafPte)
+                r.replayBlockPaddr = blockAlign(ws->info.dataPaddr);
+            ws->reads.push_back(r);
+        }
+        ws->finalPaddr = ws->info.dataPaddr;
+        ws->fillSize = ws->info.pageSize;
+        ws->fillBase = pageAlign(ws->finalPaddr, ws->fillSize);
+    } else {
+        // Nested 2D walk: the data address the replay load needs is only
+        // known through the host dimension, so resolve it functionally
+        // up front — the guest leaf read must carry replayBlockPaddr.
+        const Addr finalPaddr =
+            hostTable_->translate(ws->info.dataPaddr);
+        for (unsigned level = ws->startLevel;
+             level >= ws->info.leafLevel; --level) {
+            appendHostWalk(*ws, ws->info.pteAddr[level - 1]);
+            PendingRead r;
+            r.paddr = hostTable_->translate(ws->info.pteAddr[level - 1]);
+            r.ptLevel = static_cast<std::uint8_t>(level);
+            r.leafPte = (level == ws->info.leafLevel);
+            if (r.leafPte)
+                r.replayBlockPaddr = blockAlign(finalPaddr);
+            ws->reads.push_back(r);
+        }
+        // One more host walk translates the guest data address itself.
+        PageTable::WalkResult dataH =
+            appendHostWalk(*ws, ws->info.dataPaddr);
+        ws->finalPaddr = dataH.dataPaddr;
+        TACSIM_DCHECK(ws->finalPaddr == finalPaddr);
+        // The STLB can only cache the translation at the granule both
+        // dimensions agree on: min(guest page, host page).
+        ws->fillSize = minPageSize(ws->info.pageSize, dataH.pageSize);
+        ws->fillBase = pageAlign(ws->finalPaddr, ws->fillSize);
+    }
+    TACSIM_DCHECK(!ws->reads.empty());
 
     std::shared_ptr<WalkState> shared(std::move(ws));
     inflight_.insert(keyOf(shared->asid, shared->vaddr), shared);
 
-    // PSC search costs one cycle, then the first level read issues.
-    const unsigned level = shared->startLevel;
-    eq_.schedule(pscs_.latency(),
-                 [this, shared, level] { issueLevel(shared, level); });
+    // PSC search costs one cycle, then the first read issues.
+    eq_.schedule(pscs_.latency(), [this, shared] { issueNext(shared); });
 }
 
 void
-PageTableWalker::issueLevel(std::shared_ptr<WalkState> ws, unsigned level)
+PageTableWalker::issueNext(std::shared_ptr<WalkState> ws)
 {
-    TACSIM_DCHECK(level >= 1 && level <= kPtLevels);
-    ++stats_.levelReads[level - 1];
+    const PendingRead &r = ws->reads[ws->nextRead];
+    TACSIM_DCHECK(r.ptLevel >= 1 && r.ptLevel <= kPtLevels);
+    if (r.isHost)
+        ++stats_.hostLevelReads[r.ptLevel - 1];
+    else
+        ++stats_.levelReads[r.ptLevel - 1];
 
     MemRequestPtr req = makeRequest();
-    req->paddr = ws->info.pteAddr[level - 1];
+    req->paddr = r.paddr;
     req->vaddr = ws->vaddr;
     req->ip = ws->ip;
     req->type = ReqType::Translation;
-    req->ptLevel = static_cast<std::uint8_t>(level);
+    req->ptLevel = r.ptLevel;
+    req->leafPte = r.leafPte;
     req->cpu = ws->cpu;
     req->issuedAt = eq_.now();
-    if (level == 1) {
+    if (r.leafPte) {
         // IsLeafLevel + upper page-offset bits: tell the hierarchy which
         // data line the replay load will need, enabling ATP and TEMPO.
-        req->replayBlockPaddr = blockAlign(ws->info.dataPaddr);
+        req->replayBlockPaddr = r.replayBlockPaddr;
     }
 
-    req->onComplete = [this, ws, level](MemRequest &resp) {
-        if (level > 1) {
-            issueLevel(ws, level - 1);
-        } else {
-            finishWalk(ws, resp.source);
-        }
+    const bool leaf = r.leafPte;
+    req->onComplete = [this, ws, leaf](MemRequest &resp) {
+        if (leaf)
+            ws->leafSource = resp.source;
+        if (++ws->nextRead < ws->reads.size())
+            issueNext(ws);
+        else
+            finishWalk(ws);
     };
     port_->access(req);
 }
 
 void
-PageTableWalker::finishWalk(const std::shared_ptr<WalkState> &ws,
-                            RespSource leafSource)
+PageTableWalker::finishWalk(const std::shared_ptr<WalkState> &ws)
 {
-    switch (leafSource) {
+    switch (ws->leafSource) {
       case RespSource::L1D: ++stats_.leafFromL1D; break;
       case RespSource::L2C: ++stats_.leafFromL2C; break;
       case RespSource::LLC: ++stats_.leafFromLLC; break;
@@ -163,24 +270,25 @@ PageTableWalker::finishWalk(const std::shared_ptr<WalkState> &ws,
       default: ++stats_.leafFromIdeal; break;
     }
     stats_.walkLatency.add(eq_.now() - ws->startedAt);
+    stats_.walkRefs.add(ws->reads.size());
+    ++stats_.walksBySize[static_cast<unsigned>(ws->fillSize)];
     if (tracer_)
         tracer_->span(track_, walkNameId_, ws->startedAt, eq_.now());
 
     // Fill the PSCs for every level we walked: PSCL_l learns the frame of
-    // the level-(l-1) table.
+    // the level-(l-1) table. fill() drops levels at or below the leaf.
     for (unsigned level = ws->startLevel; level >= 2; --level)
         pscs_.fill(ws->asid, ws->vaddr, level,
-                   ws->info.tableFrame[level - 2]);
+                   ws->info.tableFrame[level - 2], ws->info.leafLevel);
 
     if (stlb_)
-        stlb_->fill(ws->asid, pageNumber(ws->vaddr),
-                    pageAlign(ws->info.dataPaddr));
+        stlb_->fill(ws->asid, ws->vaddr, ws->fillBase, ws->fillSize);
 
     inflight_.erase(keyOf(ws->asid, ws->vaddr));
     --active_;
 
     for (auto &cb : ws->callbacks)
-        cb(ws->info.dataPaddr, leafSource);
+        cb(ws->finalPaddr, ws->fillSize, ws->leafSource);
 
     drainQueue();
 }
@@ -223,15 +331,20 @@ PageTableWalker::checkInvariants() const
                           const std::shared_ptr<WalkState> &ws) {
         std::ostringstream ctx;
         ctx << std::hex << "walk asid=" << ws->asid << " vaddr=0x"
-            << ws->vaddr << std::dec << " startLevel=" << ws->startLevel;
+            << ws->vaddr << std::dec << " startLevel=" << ws->startLevel
+            << " leafLevel=" << ws->info.leafLevel;
         if (key != keyOf(ws->asid, ws->vaddr))
             throw InvariantViolation(who, "inflight-key", ctx.str());
         if (ws->callbacks.empty())
             throw InvariantViolation(who, "walk-callbacks", ctx.str());
         if (ws->startLevel < 1 || ws->startLevel > kPtLevels)
             throw InvariantViolation(who, "level-range", ctx.str());
+        if (ws->startLevel < ws->info.leafLevel)
+            throw InvariantViolation(who, "start-below-leaf", ctx.str());
     });
     pscs_.checkInvariants();
+    if (hostPscs_)
+        hostPscs_->checkInvariants();
 }
 
 } // namespace tacsim

@@ -10,6 +10,20 @@
  * page offset so a leaf hit knows which data line the pending demand load
  * needs (paper §IV) — in the model this is replayBlockPaddr.
  *
+ * Huge pages terminate the walk early: a 2M mapping's leaf PTE lives at
+ * level 2, a 1G mapping's at level 3, so those walks issue fewer reads
+ * and never touch the skipped lower-level tables.
+ *
+ * Nested (virtualized) mode turns each walk into a 2D guest×host walk:
+ * every guest PTE address is guest-physical and must itself be translated
+ * by a host walk before the guest PTE can be read, and the final guest
+ * data address needs one more host walk — up to (gL+1)*hL + gL memory
+ * references per STLB miss. The walker owns a second set of PSCs for the
+ * host dimension. Host-PSC lookups and fills are applied in sub-walk
+ * order when the walk starts (reads within a walk are serial, so each
+ * sub-walk would indeed observe its predecessors' fills; only overlap
+ * between concurrent walks is approximated).
+ *
  * Walks to the same (asid, VPN) merge; a bounded number of walks may be
  * in flight, the rest queue.
  */
@@ -41,13 +55,22 @@ class ChromeTracer;
 class Registry;
 } // namespace obs
 
+/** ASID the walker uses for the single host address space. */
+constexpr std::uint16_t kHostAsid = 0;
+
 struct PtwStats
 {
     std::uint64_t walks = 0;
     std::uint64_t merged = 0;
     std::uint64_t queued = 0;
-    /** Memory accesses issued per page-table level (index level-1). */
+    /** Memory accesses issued per guest page-table level (index l-1). */
     std::array<std::uint64_t, kPtLevels> levelReads = {};
+    /** Memory accesses issued per *host* level (nested mode only). */
+    std::array<std::uint64_t, kPtLevels> hostLevelReads = {};
+    /** Host sub-walks performed (nested mode only). */
+    std::uint64_t hostWalks = 0;
+    /** Finished walks by the granule installed in the STLB. */
+    std::array<std::uint64_t, kNumPageSizes> walksBySize = {};
     /** Where the *leaf* PTE read was serviced. */
     std::uint64_t leafFromL1D = 0;
     std::uint64_t leafFromL2C = 0;
@@ -56,6 +79,10 @@ struct PtwStats
     std::uint64_t leafFromIdeal = 0;
     Histogram walkLatency{std::vector<std::uint64_t>{20, 50, 100, 200,
                                                      500}};
+    /** Memory references per walk (the nested-walk depth histogram:
+     *  bare-metal 4K walks issue <= 5, nested walks up to 35). */
+    Histogram walkRefs{std::vector<std::uint64_t>{1, 2, 3, 4, 5, 8, 12,
+                                                  16, 20, 24, 28}};
 
     void reset() { *this = PtwStats{}; }
 };
@@ -71,9 +98,10 @@ struct PtwParams
 class PageTableWalker
 {
   public:
-    /** Called when translation finishes. */
-    using WalkCallback =
-        std::function<void(Addr dataPaddr, RespSource leafSource)>;
+    /** Called when translation finishes: host-physical data address,
+     *  installed translation granule, and leaf PTE response source. */
+    using WalkCallback = std::function<void(Addr dataPaddr, PageSize ps,
+                                            RespSource leafSource)>;
 
     using Params = PtwParams;
 
@@ -84,6 +112,15 @@ class PageTableWalker
 
     /** STLB this walker fills on completion (may be null). */
     void setStlb(Tlb *stlb) { stlb_ = stlb; }
+
+    /**
+     * Enable nested (2D) translation: every registered page table is
+     * treated as guest-physical, translated through @p host. Call before
+     * registerMetrics(). Pass nullptr to disable.
+     */
+    void setNestedTranslation(PageTable *host);
+
+    bool nested() const { return hostTable_ != nullptr; }
 
     /**
      * Start (or merge into) a walk for @p vaddr.
@@ -99,6 +136,9 @@ class PageTableWalker
     const PscStats &pscStats() const { return pscs_.stats(); }
     PagingStructureCaches &pscs() { return pscs_; }
 
+    /** Host-dimension PSCs (null unless nested mode is enabled). */
+    PagingStructureCaches *hostPscs() { return hostPscs_.get(); }
+
     /** Register walker + PSC counters under "@p prefix.", plus the
      *  reset hook. */
     void registerMetrics(obs::Registry &registry,
@@ -113,21 +153,38 @@ class PageTableWalker
     /**
      * Verify walker invariants: active count matches the in-flight map,
      * concurrency bound respected, queue only backs up when saturated,
-     * in-flight keys consistent with their walk state, and PSC state
+     * in-flight keys consistent with their walk state (including that no
+     * walk starts below its mapping's leaf level), and PSC state
      * well-formed. Throws verify::InvariantViolation.
      */
     void checkInvariants() const;
 
   private:
+    /** One serial memory reference of a walk, precomputed at start. */
+    struct PendingRead
+    {
+        Addr paddr = 0;
+        Addr replayBlockPaddr = 0; ///< nonzero on the guest leaf read
+        std::uint8_t ptLevel = 0;  ///< guest or host table level (1..5)
+        bool isHost = false;
+        bool leafPte = false; ///< the guest leaf PTE (ends translation)
+    };
+
     struct WalkState
     {
         std::uint16_t asid;
         Addr vaddr;
         Addr ip;
         std::uint16_t cpu;
-        PageTable::WalkResult info;
-        unsigned startLevel; ///< first level actually read
+        PageTable::WalkResult info; ///< guest-dimension walk result
+        unsigned startLevel;        ///< first guest level actually read
         Cycle startedAt;
+        std::vector<PendingRead> reads; ///< serial reference list
+        std::size_t nextRead = 0;
+        Addr finalPaddr = 0;   ///< host-physical data address
+        Addr fillBase = 0;     ///< STLB fill physical base
+        PageSize fillSize = PageSize::Size4K; ///< STLB fill granule
+        RespSource leafSource = RespSource::None;
         std::vector<WalkCallback> callbacks;
     };
 
@@ -137,9 +194,11 @@ class PageTableWalker
     }
 
     void startWalk(std::unique_ptr<WalkState> ws);
-    void issueLevel(std::shared_ptr<WalkState> ws, unsigned level);
-    void finishWalk(const std::shared_ptr<WalkState> &ws,
-                    RespSource leafSource);
+    /** Append a host sub-walk for @p gpa to ws->reads; returns the host
+     *  walk result (nested mode only). */
+    PageTable::WalkResult appendHostWalk(WalkState &ws, Addr gpa);
+    void issueNext(std::shared_ptr<WalkState> ws);
+    void finishWalk(const std::shared_ptr<WalkState> &ws);
     void drainQueue();
 
     EventQueue &eq_;
@@ -147,6 +206,9 @@ class PageTableWalker
     Params params_;
     PagingStructureCaches pscs_;
     Tlb *stlb_ = nullptr;
+
+    PageTable *hostTable_ = nullptr; ///< non-null = nested 2D mode
+    std::unique_ptr<PagingStructureCaches> hostPscs_;
 
     obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
     std::uint32_t track_ = 0;

@@ -5,13 +5,18 @@
  * Fig. 18.
  *
  * Lookups are functional; the owning core/walker charges the latency.
- * Entries are keyed by (ASID, VPN) so SMT threads and multi-core
- * workloads can share a structure without aliasing.
+ * Entries are keyed by (ASID, VPN, page size) so SMT threads and
+ * multi-core workloads can share a structure without aliasing, and so a
+ * single array can hold 4K, 2M and 1G translations side by side (a
+ * skewed/shared design: each page size indexes the sets with its own
+ * VPN bits). Per-size occupancy counters let the common all-4K case
+ * probe exactly one set, keeping the hot path as cheap as before.
  */
 
 #ifndef TACSIM_VM_TLB_HH
 #define TACSIM_VM_TLB_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +38,9 @@ struct TlbStats
     std::uint64_t accesses = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /** hits/fills broken out by mapping granule (indexed by PageSize). */
+    std::array<std::uint64_t, kNumPageSizes> hitsBySize = {};
+    std::array<std::uint64_t, kNumPageSizes> fillsBySize = {};
 
     void reset() { *this = TlbStats{}; }
 };
@@ -49,16 +57,29 @@ class Tlb
         Cycle latency, bool profileRecall = false);
 
     /**
-     * Look up (asid, vpn). On a hit, writes the PFN (page-aligned
-     * physical address) to @p pfn and refreshes LRU.
+     * Look up @p vaddr in address space @p asid. On a hit, writes the
+     * mapping's page-aligned physical base to @p pfnBase, its granule to
+     * @p ps, and refreshes LRU. The caller composes the full physical
+     * address as pfnBase | pageOffset(vaddr, ps).
      */
-    bool lookup(std::uint16_t asid, Addr vpn, Addr &pfn);
+    bool lookup(std::uint16_t asid, Addr vaddr, Addr &pfnBase,
+                PageSize &ps);
 
-    /** Probe without updating LRU or stats (for prefetcher hooks). */
-    bool probe(std::uint16_t asid, Addr vpn, Addr &pfn) const;
+    /** Convenience overload: writes the full translated physical
+     *  address of @p vaddr to @p paddr. */
+    bool lookup(std::uint16_t asid, Addr vaddr, Addr &paddr);
 
-    /** Install a translation (evicting LRU within the set). */
-    void fill(std::uint16_t asid, Addr vpn, Addr pfn);
+    /** Probe without updating LRU or stats (for prefetcher hooks);
+     *  writes the full translated physical address. */
+    bool probe(std::uint16_t asid, Addr vaddr, Addr &paddr) const;
+
+    /**
+     * Install a translation covering the @p ps page around @p vaddr,
+     * backed by physical base @p pfnBase (aligned to pageBytes(ps));
+     * evicts LRU within the set.
+     */
+    void fill(std::uint16_t asid, Addr vaddr, Addr pfnBase,
+              PageSize ps = PageSize::Size4K);
 
     /** Drop everything (context-switch style). */
     void flush();
@@ -78,13 +99,16 @@ class Tlb
 
     const RecallProfiler *recallProfiler() const { return profiler_.get(); }
 
-    /** Visit every valid entry as (asid, vpn, pfn). */
-    void forEachEntry(
-        const std::function<void(std::uint16_t, Addr, Addr)> &fn) const;
+    /** Visit every valid entry as (asid, vpn, pfnBase, pageSize); vpn is
+     *  at the entry's own granule (vaddr >> pageShift(pageSize)). */
+    void forEachEntry(const std::function<void(std::uint16_t, Addr, Addr,
+                                               PageSize)> &fn) const;
 
     /**
-     * Verify structural invariants: unique keys per set, entries indexed
-     * into the right set, LRU stamps behind the clock, page-aligned PFNs.
+     * Verify structural invariants: unique (asid, vpn, size) per set,
+     * entries indexed into the right set, LRU stamps behind the clock,
+     * PFNs aligned to their own page size, and no two entries of
+     * different sizes covering overlapping virtual ranges.
      * Throws verify::InvariantViolation.
      */
     void checkInvariants() const;
@@ -92,21 +116,27 @@ class Tlb
     /** Raw entry write bypassing fill()'s dedup/refresh — verifier tests
      *  use this to seed corrupted state (duplicate keys, bogus PFNs). */
     void pokeForTest(std::uint32_t set, std::uint32_t way,
-                     std::uint16_t asid, Addr vpn, Addr pfn);
+                     std::uint16_t asid, Addr vpn, Addr pfn,
+                     PageSize ps = PageSize::Size4K);
 
   private:
     struct Entry
     {
-        std::uint64_t key = 0; ///< (asid << 52) | vpn, +1 bias for valid
-        Addr pfn = 0;
+        Addr vpn = 0; ///< vaddr >> pageShift(size)
+        Addr pfn = 0; ///< physical base, aligned to pageBytes(size)
         std::uint64_t lru = 0;
+        std::uint16_t asid = 0;
+        PageSize size = PageSize::Size4K;
         bool valid = false;
     };
 
+    /** Key the recall profiler by 4K VPN so its distance accounting is
+     *  granule-independent (and unchanged for all-4K runs). */
     static std::uint64_t
-    keyOf(std::uint16_t asid, Addr vpn)
+    profileKeyOf(std::uint16_t asid, Addr vaddr)
     {
-        return (static_cast<std::uint64_t>(asid) << 52) | vpn;
+        return (static_cast<std::uint64_t>(asid) << 52) |
+            pageNumber(vaddr);
     }
 
     std::uint32_t setOf(Addr vpn) const { return indexer_.index(vpn); }
@@ -119,6 +149,9 @@ class Tlb
     std::vector<Entry> entries_;
     std::uint64_t clock_ = 1;
     TlbStats stats_;
+    /** Valid-entry count per granule; sizes with zero entries are
+     *  skipped during lookup, so all-4K runs probe one set. */
+    std::array<std::uint32_t, kNumPageSizes> sizeCount_ = {};
     std::unique_ptr<RecallProfiler> profiler_;
 };
 

@@ -28,6 +28,8 @@ struct Point
     const char *name;
     Benchmark benchmark;
     bool proposed;
+    double thp2m = 0.0;
+    bool nested = false;
 };
 
 const Point kPoints[] = {
@@ -36,6 +38,8 @@ const Point kPoints[] = {
     {"mcf_baseline", Benchmark::mcf, false},
     {"canneal_proposed", Benchmark::canneal, true},
     {"pr_baseline", Benchmark::pr, false},
+    {"mcf_thp", Benchmark::mcf, false, 0.5},
+    {"xalancbmk_nested", Benchmark::xalancbmk, false, 0.0, true},
 };
 
 SystemConfig
@@ -47,6 +51,8 @@ configFor(const Point &p)
         ta.tempo = true;
         applyTranslationAware(cfg, ta);
     }
+    cfg.vm.hugePages2M = p.thp2m;
+    cfg.vm.nested = p.nested;
     return cfg;
 }
 

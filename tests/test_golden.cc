@@ -40,7 +40,9 @@ struct GoldenPoint
 {
     const char *name; ///< snapshot file stem
     Benchmark benchmark;
-    bool proposed; ///< false = baseline DRRIP/SHiP, true = full paper
+    bool proposed;     ///< false = baseline DRRIP/SHiP, true = full paper
+    double thp2m = 0.0; ///< fraction of 2M-backed guest regions
+    bool nested = false; ///< 2D guest×host translation
 };
 
 SystemConfig
@@ -52,6 +54,8 @@ configFor(const GoldenPoint &p)
         ta.tempo = true;
         applyTranslationAware(cfg, ta);
     }
+    cfg.vm.hugePages2M = p.thp2m;
+    cfg.vm.nested = p.nested;
     return cfg;
 }
 
@@ -121,7 +125,9 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenPoint{"canneal_baseline", Benchmark::canneal, false},
         GoldenPoint{"canneal_proposed", Benchmark::canneal, true},
         GoldenPoint{"pr_baseline", Benchmark::pr, false},
-        GoldenPoint{"pr_proposed", Benchmark::pr, true}),
+        GoldenPoint{"pr_proposed", Benchmark::pr, true},
+        GoldenPoint{"mcf_thp", Benchmark::mcf, false, 0.5},
+        GoldenPoint{"mcf_nested", Benchmark::mcf, false, 0.0, true}),
     [](const ::testing::TestParamInfo<GoldenPoint> &info) {
         return std::string(info.param.name);
     });

@@ -34,7 +34,7 @@ TEST_F(PtwTest, ColdWalkReadsAllFiveLevels)
     auto w = makeWalker();
     Addr result = 0;
     w.walk(0, 0x12345000, 0x400000, 0,
-           [&](Addr paddr, RespSource) { result = paddr; });
+           [&](Addr paddr, PageSize, RespSource) { result = paddr; });
     test::drain(eq);
     EXPECT_EQ(mem.countOf(ReqType::Translation), kPtLevels);
     EXPECT_EQ(result, pt.translate(0x12345000));
@@ -46,7 +46,7 @@ TEST_F(PtwTest, ColdWalkReadsAllFiveLevels)
 TEST_F(PtwTest, LevelsReadSerially)
 {
     auto w = makeWalker();
-    w.walk(0, 0x5000, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, 0x5000, 0, 0, [](Addr, PageSize, RespSource) {});
     // After PSC latency + one memory delay, only one read has issued.
     eq.advanceTo(10);
     EXPECT_EQ(mem.requests.size(), 1u);
@@ -60,13 +60,13 @@ TEST_F(PtwTest, PscHitSkipsUpperLevels)
 {
     auto w = makeWalker();
     // First walk warms the PSCs.
-    w.walk(0, 0x40000000, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, 0x40000000, 0, 0, [](Addr, PageSize, RespSource) {});
     test::drain(eq);
     const auto readsAfterFirst = mem.countOf(ReqType::Translation);
     EXPECT_EQ(readsAfterFirst, kPtLevels);
 
     // Second walk in the same 2MB region: PSCL2 hit -> leaf read only.
-    w.walk(0, 0x40000000 + 7 * kPageSize, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, 0x40000000 + 7 * kPageSize, 0, 0, [](Addr, PageSize, RespSource) {});
     test::drain(eq);
     EXPECT_EQ(mem.countOf(ReqType::Translation), readsAfterFirst + 1);
     EXPECT_EQ(w.pscStats().hitsAtLevel[1], 1u); // PSCL2
@@ -76,7 +76,7 @@ TEST_F(PtwTest, LeafRequestCarriesReplayBlock)
 {
     auto w = makeWalker();
     const Addr vaddr = 0x77777123; // offset 0x123 within the page
-    w.walk(0, vaddr, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, vaddr, 0, 0, [](Addr, PageSize, RespSource) {});
     test::drain(eq);
     unsigned leafSeen = 0;
     for (const auto &r : mem.requests) {
@@ -98,9 +98,9 @@ TEST_F(PtwTest, SameVpnWalksMerge)
 {
     auto w = makeWalker();
     int done = 0;
-    w.walk(0, 0x9000, 0, 0, [&](Addr, RespSource) { ++done; });
-    w.walk(0, 0x9008, 0, 0, [&](Addr, RespSource) { ++done; });
-    w.walk(0, 0x9ff0, 0, 0, [&](Addr, RespSource) { ++done; });
+    w.walk(0, 0x9000, 0, 0, [&](Addr, PageSize, RespSource) { ++done; });
+    w.walk(0, 0x9008, 0, 0, [&](Addr, PageSize, RespSource) { ++done; });
+    w.walk(0, 0x9ff0, 0, 0, [&](Addr, PageSize, RespSource) { ++done; });
     test::drain(eq);
     EXPECT_EQ(done, 3);
     EXPECT_EQ(w.stats().walks, 1u);
@@ -115,7 +115,7 @@ TEST_F(PtwTest, ConcurrencyLimitQueuesWalks)
     int done = 0;
     for (Addr i = 0; i < 5; ++i)
         w.walk(0, (Addr{0x100} + i) << 12, 0, 0,
-               [&](Addr, RespSource) { ++done; });
+               [&](Addr, PageSize, RespSource) { ++done; });
     EXPECT_EQ(w.activeWalks(), 2u);
     EXPECT_EQ(w.stats().queued, 3u);
     test::drain(eq);
@@ -130,17 +130,17 @@ TEST_F(PtwTest, StlbFilledOnCompletion)
     auto w = makeWalker();
     w.setStlb(&stlb);
     const Addr vaddr = 0xabcd3456;
-    w.walk(0, vaddr, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, vaddr, 0, 0, [](Addr, PageSize, RespSource) {});
     test::drain(eq);
-    Addr pfn = 0;
-    EXPECT_TRUE(stlb.probe(0, pageNumber(vaddr), pfn));
-    EXPECT_EQ(pfn, pageAlign(pt.translate(vaddr)));
+    Addr pa = 0;
+    EXPECT_TRUE(stlb.probe(0, vaddr, pa));
+    EXPECT_EQ(pa, pt.translate(vaddr));
 }
 
 TEST_F(PtwTest, LeafSourceRecorded)
 {
     auto w = makeWalker();
-    w.walk(0, 0x4000, 0, 0, [](Addr, RespSource) {});
+    w.walk(0, 0x4000, 0, 0, [](Addr, PageSize, RespSource) {});
     test::drain(eq);
     EXPECT_EQ(w.stats().leafFromDram, 1u); // mock completes as DRAM
 }
@@ -150,7 +150,7 @@ TEST_F(PtwTest, WalkLatencyIncludesAllLevels)
     auto w = makeWalker();
     Cycle finished = 0;
     w.walk(0, 0x8000, 0, 0,
-           [&](Addr, RespSource) { finished = eq.now(); });
+           [&](Addr, PageSize, RespSource) { finished = eq.now(); });
     test::drain(eq);
     // 1 cycle PSC + 5 serial reads of 50 cycles.
     EXPECT_EQ(finished, 1u + kPtLevels * 50u);
@@ -164,8 +164,8 @@ TEST_F(PtwTest, DistinctAsidsWalkDistinctTables)
     auto w = makeWalker();
     w.addAddressSpace(1, &pt2);
     Addr pa0 = 0, pa1 = 0;
-    w.walk(0, 0x6000, 0, 0, [&](Addr p, RespSource) { pa0 = p; });
-    w.walk(1, 0x6000, 0, 1, [&](Addr p, RespSource) { pa1 = p; });
+    w.walk(0, 0x6000, 0, 0, [&](Addr p, PageSize, RespSource) { pa0 = p; });
+    w.walk(1, 0x6000, 0, 1, [&](Addr p, PageSize, RespSource) { pa1 = p; });
     test::drain(eq);
     EXPECT_NE(pa0, 0u);
     EXPECT_NE(pa1, 0u);

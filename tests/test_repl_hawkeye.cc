@@ -107,12 +107,14 @@ TEST(THawkeye, LeafTranslationForcedFriendly)
             AccessInfo ai = access(b * 64, ip);
             ai.cat = BlockCat::PtLeaf;
             ai.ptLevel = 1;
+            ai.leafPte = true;
             p.onFill(0, static_cast<std::uint32_t>(b % 4), ai);
         }
     // ...then a leaf translation fill must still be treated friendly.
     AccessInfo tr = access(0x8000, ip);
     tr.cat = BlockCat::PtLeaf;
     tr.ptLevel = 1;
+    tr.leafPte = true;
     p.onFill(1, 0, tr);
     std::vector<BlockMeta> blocks(4);
     for (auto &b : blocks)

@@ -32,6 +32,7 @@ translationAccess(Addr ip = 0x400000)
     AccessInfo ai = dataAccess(ip, 0x8000);
     ai.cat = BlockCat::PtLeaf;
     ai.ptLevel = 1;
+    ai.leafPte = true;
     return ai;
 }
 
@@ -225,6 +226,7 @@ TEST_P(PolicySweep, VictimAlwaysValidUnderChurn)
           case 2:
             ai.cat = BlockCat::PtLeaf;
             ai.ptLevel = 1;
+            ai.leafPte = true;
             break;
           default:
             ai.cat = BlockCat::PtUpper;

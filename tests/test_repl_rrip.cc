@@ -37,6 +37,7 @@ leafTranslation(Addr block = 0x3000)
     AccessInfo ai = dataAccess(block);
     ai.cat = BlockCat::PtLeaf;
     ai.ptLevel = 1;
+    ai.leafPte = true;
     return ai;
 }
 
@@ -162,6 +163,7 @@ TEST(TDrrip, UpperLevelTranslationsNotPinned)
     DrripPolicy p(64, 8, opts, 1);
     AccessInfo upper = leafTranslation();
     upper.ptLevel = 3;
+    upper.leafPte = false;
     upper.cat = BlockCat::PtUpper;
     p.onFill(5, 1, upper);
     EXPECT_GT(p.rrpv(5, 1), 0);

@@ -121,6 +121,7 @@ TEST(Ship, NewSignaturesIsolateTraining)
     AccessInfo tr = dataAccess(ip);
     tr.cat = BlockCat::PtLeaf;
     tr.ptLevel = 1;
+    tr.leafPte = true;
     p.onFill(0, 1, tr);
     EXPECT_LT(p.rrpv(0, 1), RripBase::kMaxRrpv)
         << "translation insertion poisoned by data training";
@@ -135,6 +136,7 @@ TEST(TShip, LeafTranslationsInsertAtZero)
     AccessInfo tr = dataAccess(0x400800);
     tr.cat = BlockCat::PtLeaf;
     tr.ptLevel = 1;
+    tr.leafPte = true;
     p.onFill(3, 0, tr);
     EXPECT_EQ(p.rrpv(3, 0), 0);
     EXPECT_EQ(p.name(), "T-SHiP");
@@ -149,6 +151,7 @@ TEST(TShip, NewSignOnlyNameAndBehaviour)
     AccessInfo tr = dataAccess(0x400900);
     tr.cat = BlockCat::PtLeaf;
     tr.ptLevel = 1;
+    tr.leafPte = true;
     p.onFill(3, 0, tr);
     EXPECT_GT(p.rrpv(3, 0), 0); // no forced RRPV0 without the T flag
 }

@@ -11,14 +11,21 @@
 namespace tacsim {
 namespace {
 
+/** Convenience: the 4K-page virtual address for a VPN. */
+constexpr Addr
+va(Addr vpn)
+{
+    return vpn << kPageBits;
+}
+
 TEST(Tlb, MissThenFillThenHit)
 {
     Tlb tlb("t", 64, 4, 1);
-    Addr pfn = 0;
-    EXPECT_FALSE(tlb.lookup(0, 0x123, pfn));
-    tlb.fill(0, 0x123, 0xabc000);
-    EXPECT_TRUE(tlb.lookup(0, 0x123, pfn));
-    EXPECT_EQ(pfn, 0xabc000u);
+    Addr pa = 0;
+    EXPECT_FALSE(tlb.lookup(0, va(0x123) | 0x45, pa));
+    tlb.fill(0, va(0x123), 0xabc000);
+    EXPECT_TRUE(tlb.lookup(0, va(0x123) | 0x45, pa));
+    EXPECT_EQ(pa, 0xabc045u); // page offset preserved
     EXPECT_EQ(tlb.stats().accesses, 2u);
     EXPECT_EQ(tlb.stats().hits, 1u);
     EXPECT_EQ(tlb.stats().misses, 1u);
@@ -27,10 +34,10 @@ TEST(Tlb, MissThenFillThenHit)
 TEST(Tlb, AsidsAreIsolated)
 {
     Tlb tlb("t", 64, 4, 1);
-    tlb.fill(1, 0x55, 0x1000);
-    Addr pfn = 0;
-    EXPECT_FALSE(tlb.lookup(2, 0x55, pfn));
-    EXPECT_TRUE(tlb.lookup(1, 0x55, pfn));
+    tlb.fill(1, va(0x55), 0x1000);
+    Addr pa = 0;
+    EXPECT_FALSE(tlb.lookup(2, va(0x55), pa));
+    EXPECT_TRUE(tlb.lookup(1, va(0x55), pa));
 }
 
 TEST(Tlb, LruEvictionWithinSet)
@@ -38,44 +45,44 @@ TEST(Tlb, LruEvictionWithinSet)
     // 4 entries, 4 ways: one set. Fill 5 VPNs; the LRU one must go.
     Tlb tlb("t", 4, 4, 1);
     for (Addr v = 0; v < 4; ++v)
-        tlb.fill(0, v * 1 /* same set: sets==1 */, Addr(v + 1) << 12);
-    Addr pfn = 0;
-    EXPECT_TRUE(tlb.lookup(0, 0, pfn)); // refresh vpn 0
-    tlb.fill(0, 100, 0x99000);          // evicts vpn 1 (oldest now)
-    EXPECT_FALSE(tlb.probe(0, 1, pfn));
-    EXPECT_TRUE(tlb.probe(0, 0, pfn));
-    EXPECT_TRUE(tlb.probe(0, 100, pfn));
+        tlb.fill(0, va(v) /* same set: sets==1 */, Addr(v + 1) << 12);
+    Addr pa = 0;
+    EXPECT_TRUE(tlb.lookup(0, va(0), pa)); // refresh vpn 0
+    tlb.fill(0, va(100), 0x99000);         // evicts vpn 1 (oldest now)
+    EXPECT_FALSE(tlb.probe(0, va(1), pa));
+    EXPECT_TRUE(tlb.probe(0, va(0), pa));
+    EXPECT_TRUE(tlb.probe(0, va(100), pa));
 }
 
 TEST(Tlb, ProbeDoesNotTouchStatsOrLru)
 {
     Tlb tlb("t", 4, 4, 1);
-    tlb.fill(0, 7, 0x7000);
+    tlb.fill(0, va(7), 0x7000);
     const auto before = tlb.stats().accesses;
-    Addr pfn = 0;
-    EXPECT_TRUE(tlb.probe(0, 7, pfn));
+    Addr pa = 0;
+    EXPECT_TRUE(tlb.probe(0, va(7), pa));
     EXPECT_EQ(tlb.stats().accesses, before);
 }
 
 TEST(Tlb, FillRefreshesExistingEntryInPlace)
 {
     Tlb tlb("t", 4, 4, 1);
-    tlb.fill(0, 9, 0x1000);
-    tlb.fill(0, 9, 0x2000); // remap
-    Addr pfn = 0;
-    EXPECT_TRUE(tlb.lookup(0, 9, pfn));
-    EXPECT_EQ(pfn, 0x2000u);
+    tlb.fill(0, va(9), 0x1000);
+    tlb.fill(0, va(9), 0x2000); // remap
+    Addr pa = 0;
+    EXPECT_TRUE(tlb.lookup(0, va(9), pa));
+    EXPECT_EQ(pa, 0x2000u);
 }
 
 TEST(Tlb, FlushInvalidatesEverything)
 {
     Tlb tlb("t", 64, 4, 1);
     for (Addr v = 0; v < 32; ++v)
-        tlb.fill(0, v, v << 12);
+        tlb.fill(0, va(v), v << 12);
     tlb.flush();
-    Addr pfn = 0;
+    Addr pa = 0;
     for (Addr v = 0; v < 32; ++v)
-        EXPECT_FALSE(tlb.probe(0, v, pfn));
+        EXPECT_FALSE(tlb.probe(0, va(v), pa));
 }
 
 TEST(Tlb, SetIndexingSpreadsVpns)
@@ -84,21 +91,21 @@ TEST(Tlb, SetIndexingSpreadsVpns)
     EXPECT_EQ(tlb.sets(), 16u);
     // 16 consecutive VPNs land in 16 different sets: none evicted.
     for (Addr v = 0; v < 64; ++v)
-        tlb.fill(0, v, v << 12);
-    Addr pfn = 0;
+        tlb.fill(0, va(v), v << 12);
+    Addr pa = 0;
     for (Addr v = 0; v < 64; ++v)
-        EXPECT_TRUE(tlb.probe(0, v, pfn)) << v;
+        EXPECT_TRUE(tlb.probe(0, va(v), pa)) << v;
 }
 
 TEST(Tlb, ResetStatsKeepsContents)
 {
     Tlb tlb("t", 64, 4, 1);
-    tlb.fill(0, 3, 0x3000);
-    Addr pfn = 0;
-    tlb.lookup(0, 3, pfn);
+    tlb.fill(0, va(3), 0x3000);
+    Addr pa = 0;
+    tlb.lookup(0, va(3), pa);
     tlb.resetStats();
     EXPECT_EQ(tlb.stats().accesses, 0u);
-    EXPECT_TRUE(tlb.probe(0, 3, pfn));
+    EXPECT_TRUE(tlb.probe(0, va(3), pa));
 }
 
 TEST(Tlb, RecallProfilerTracksEvictedEntries)
@@ -106,13 +113,13 @@ TEST(Tlb, RecallProfilerTracksEvictedEntries)
     Tlb tlb("t", 4, 4, 1, /*profileRecall=*/true);
     // Fill the single set, evict vpn 0, then access it again.
     for (Addr v = 0; v < 4; ++v) {
-        Addr pfn = 0;
-        tlb.lookup(0, v, pfn); // miss (counts an access in the set)
-        tlb.fill(0, v, v << 12);
+        Addr pa = 0;
+        tlb.lookup(0, va(v), pa); // miss (counts an access in the set)
+        tlb.fill(0, va(v), v << 12);
     }
-    Addr pfn = 0;
-    tlb.fill(0, 50, 0x50000); // evicts vpn 0 (LRU)
-    tlb.lookup(0, 0, pfn);    // recall event for vpn 0
+    Addr pa = 0;
+    tlb.fill(0, va(50), 0x50000); // evicts vpn 0 (LRU)
+    tlb.lookup(0, va(0), pa);     // recall event for vpn 0
     ASSERT_NE(tlb.recallProfiler(), nullptr);
     EXPECT_EQ(tlb.recallProfiler()->translationHist().count(), 1u);
 }

@@ -79,6 +79,7 @@ makeTranslation(Addr paddr, unsigned level, Addr replayBlock = 0,
     req->ip = ip;
     req->type = ReqType::Translation;
     req->ptLevel = static_cast<std::uint8_t>(level);
+    req->leafPte = level == 1; // bare 4K walk: level 1 is the leaf
     req->replayBlockPaddr = replayBlock;
     return req;
 }

@@ -213,7 +213,7 @@ TEST_F(VerifyCacheTest, RrpvOutOfRangeTrips)
 TEST(VerifyTlbTest, DuplicateKeyTrips)
 {
     Tlb t("STLB", 64, 4, 1);
-    t.fill(0, 5, 0xaa000);
+    t.fill(0, Addr{5} << kPageBits, 0xaa000);
     EXPECT_NO_THROW(t.checkInvariants());
 
     // Same (asid, vpn) in two ways of set 5.

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Page-size diversity tests: huge-page frame allocation, the THP-style
+ * promotion policy, early-terminating walks, page-size-aware TLB and PSC
+ * behavior, and the nested (2D guest×host) walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/verify.hh"
+#include "test_util.hh"
+#include "vm/ptw.hh"
+
+namespace tacsim {
+namespace {
+
+using verify::InvariantViolation;
+
+// --------------------------------------------------------------------------
+// FrameAllocator
+// --------------------------------------------------------------------------
+
+TEST(FrameAllocatorHuge, HugeFramesAreNaturallyAligned)
+{
+    FrameAllocator fa;
+    EXPECT_EQ(fa.alloc(), kPageSize);
+    const Addr f2m = fa.alloc(pageBytes(PageSize::Size2M));
+    EXPECT_EQ(f2m % pageBytes(PageSize::Size2M), 0u);
+    const Addr f1g = fa.alloc(pageBytes(PageSize::Size1G));
+    EXPECT_EQ(f1g % pageBytes(PageSize::Size1G), 0u);
+    EXPECT_GT(f1g, f2m);
+    // Small allocations continue right after the huge frame.
+    EXPECT_EQ(fa.alloc(), f1g + pageBytes(PageSize::Size1G));
+}
+
+// --------------------------------------------------------------------------
+// HugePagePolicy
+// --------------------------------------------------------------------------
+
+TEST(HugePagePolicy, ExactAtTheEndpoints)
+{
+    const HugePagePolicy all{1.0, 1.0, 7};
+    const HugePagePolicy none{0.0, 0.0, 7};
+    for (Addr region = 0; region < 256; ++region) {
+        EXPECT_TRUE(all.promotes(region, PageSize::Size2M));
+        EXPECT_TRUE(all.promotes(region, PageSize::Size1G));
+        EXPECT_FALSE(none.promotes(region, PageSize::Size2M));
+        EXPECT_FALSE(none.promotes(region, PageSize::Size1G));
+    }
+    EXPECT_TRUE(none.none());
+    EXPECT_FALSE(all.none());
+}
+
+TEST(HugePagePolicy, FractionIsDeterministicAndRoughlyHonored)
+{
+    const HugePagePolicy p{0.5, 0.0, 42};
+    unsigned promoted = 0;
+    for (Addr region = 0; region < 1000; ++region) {
+        const bool first = p.promotes(region, PageSize::Size2M);
+        EXPECT_EQ(first, p.promotes(region, PageSize::Size2M));
+        promoted += first;
+    }
+    EXPECT_GT(promoted, 350u);
+    EXPECT_LT(promoted, 650u);
+}
+
+TEST(HugePagePolicy, SeedChangesTheDraw)
+{
+    const HugePagePolicy a{0.5, 0.0, 1};
+    const HugePagePolicy b{0.5, 0.0, 2};
+    unsigned differ = 0;
+    for (Addr region = 0; region < 256; ++region)
+        differ += a.promotes(region, PageSize::Size2M) !=
+            b.promotes(region, PageSize::Size2M);
+    EXPECT_GT(differ, 0u);
+}
+
+// --------------------------------------------------------------------------
+// PageTable with huge mappings
+// --------------------------------------------------------------------------
+
+TEST(PageTableHuge, MapRegionOverridesGranule)
+{
+    FrameAllocator fa;
+    PageTable pt(fa);
+    const Addr giga = pageBytes(PageSize::Size1G);
+    pt.mapRegion(giga, giga, PageSize::Size1G);
+    EXPECT_EQ(pt.pageSizeOf(giga + 0x1234), PageSize::Size1G);
+    EXPECT_EQ(pt.pageSizeOf(0x1000), PageSize::Size4K);
+}
+
+TEST(PageTableHuge, TwoMegWalkTerminatesAtLevelTwo)
+{
+    FrameAllocator fa;
+    PageTable pt(fa, HugePagePolicy{1.0, 0.0, 1});
+    const Addr va = 0x40000000 | 0x123456;
+    const auto r = pt.walk(va);
+    EXPECT_EQ(r.leafLevel, 2u);
+    EXPECT_EQ(r.pageSize, PageSize::Size2M);
+    EXPECT_EQ(r.pteAddr[0], 0u); // no level-1 table exists
+    EXPECT_NE(r.pteAddr[1], 0u);
+    // The 21-bit offset survives translation.
+    EXPECT_EQ(pageOffset(r.dataPaddr, PageSize::Size2M), 0x123456u);
+    EXPECT_EQ(pageAlign(r.dataPaddr, PageSize::Size2M) %
+                  pageBytes(PageSize::Size2M),
+              0u);
+    // root + L4 + L3 + L2 tables, no leaf table.
+    EXPECT_EQ(pt.tablePages(), 4u);
+}
+
+TEST(PageTableHuge, OneGigWalkTerminatesAtLevelThree)
+{
+    FrameAllocator fa;
+    PageTable pt(fa, HugePagePolicy{0.0, 1.0, 1});
+    const auto r = pt.walk(0x40000000);
+    EXPECT_EQ(r.leafLevel, 3u);
+    EXPECT_EQ(r.pageSize, PageSize::Size1G);
+    EXPECT_EQ(r.pteAddr[0], 0u);
+    EXPECT_EQ(r.pteAddr[1], 0u);
+    EXPECT_EQ(pt.tablePages(), 3u);
+}
+
+TEST(PageTableHuge, NeighborsShareTheHugeFrame)
+{
+    FrameAllocator fa;
+    PageTable pt(fa, HugePagePolicy{1.0, 0.0, 1});
+    const Addr base = 0x40000000;
+    const Addr pa1 = pt.translate(base + 0x1000);
+    const Addr pa2 = pt.translate(base + 0x1ff000);
+    EXPECT_EQ(pageAlign(pa1, PageSize::Size2M),
+              pageAlign(pa2, PageSize::Size2M));
+    EXPECT_NE(pa1, pa2);
+}
+
+// --------------------------------------------------------------------------
+// TLB with mixed page sizes
+// --------------------------------------------------------------------------
+
+TEST(TlbHuge, TwoMegEntryCoversWholePage)
+{
+    Tlb tlb("t", 64, 4, 1);
+    const Addr va = Addr{0x40000000};
+    tlb.fill(0, va, 0x600000, PageSize::Size2M);
+    Addr pa = 0;
+    EXPECT_TRUE(tlb.lookup(0, va + 0x123456, pa));
+    EXPECT_EQ(pa, 0x723456u);
+    EXPECT_TRUE(tlb.lookup(0, va + 0x1fffff, pa));
+    EXPECT_FALSE(tlb.lookup(0, va + pageBytes(PageSize::Size2M), pa));
+    EXPECT_EQ(tlb.stats().hitsBySize[unsigned(PageSize::Size2M)], 2u);
+    EXPECT_EQ(tlb.stats().fillsBySize[unsigned(PageSize::Size2M)], 1u);
+}
+
+TEST(TlbHuge, SizesCoexistWithoutAliasing)
+{
+    Tlb tlb("t", 64, 4, 1);
+    tlb.fill(0, 0x5000, 0xa000, PageSize::Size4K);
+    tlb.fill(0, 0x40000000, 0x200000, PageSize::Size2M);
+    tlb.fill(0, Addr{3} << 30, Addr{1} << 30, PageSize::Size1G);
+    Addr pa = 0;
+    EXPECT_TRUE(tlb.probe(0, 0x5abc, pa));
+    EXPECT_EQ(pa, 0xaabcu);
+    EXPECT_TRUE(tlb.probe(0, 0x40000000 + 0x42, pa));
+    EXPECT_EQ(pa, 0x200042u);
+    EXPECT_TRUE(tlb.probe(0, (Addr{3} << 30) + 0x99, pa));
+    EXPECT_EQ(pa, (Addr{1} << 30) + 0x99);
+    EXPECT_NO_THROW(tlb.checkInvariants());
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0, 0x5abc, pa));
+    EXPECT_FALSE(tlb.probe(0, 0x40000042, pa));
+}
+
+TEST(TlbHuge, MixedSizeAliasTripsInvariant)
+{
+    Tlb tlb("t", 64, 4, 1);
+    // A 4K entry inside a VA range also covered by a live 2M entry.
+    tlb.pokeForTest(0, 0, 0, /*vpn=*/0x200, 0xaa000, PageSize::Size4K);
+    tlb.pokeForTest(1, 0, 0, /*vpn=*/1, 0x200000, PageSize::Size2M);
+    try {
+        tlb.checkInvariants();
+        FAIL() << "mixed-size alias not detected";
+    } catch (const InvariantViolation &v) {
+        EXPECT_EQ(v.invariant(), "mixed-size-alias");
+    }
+}
+
+// --------------------------------------------------------------------------
+// PSC and huge-page leaves
+// --------------------------------------------------------------------------
+
+TEST(PscHuge, FillAtOrBelowLeafLevelIsDropped)
+{
+    PagingStructureCaches pscs;
+    const Addr va = 0x40000000;
+    // A 2M walk (leaf at level 2) must not populate PSCL2 ...
+    pscs.fill(0, va, 2, 0x111000, /*leafLevel=*/2);
+    Addr frame = 0;
+    EXPECT_EQ(pscs.lookup(0, va, frame), kPtLevels);
+    // ... but may populate PSCL3 (the level-2 table does exist).
+    pscs.fill(0, va, 3, 0x222000, /*leafLevel=*/2);
+    EXPECT_EQ(pscs.lookup(0, va, frame), 2u);
+    EXPECT_EQ(frame, 0x222000u);
+    EXPECT_NO_THROW(pscs.checkInvariants());
+}
+
+TEST(PscHuge, SkippedLevelEntryTripsInvariant)
+{
+    PagingStructureCaches pscs;
+    // Seed the corruption fill() refuses: a PSCL2 entry installed by a
+    // walk whose leaf was level 2.
+    pscs.pokeForTest(2, 0, 0, 0x40000000, 0x111000, /*leafLevel=*/2);
+    try {
+        pscs.checkInvariants();
+        FAIL() << "skipped-level entry not detected";
+    } catch (const InvariantViolation &v) {
+        EXPECT_EQ(v.invariant(), "psc-skipped-level");
+        EXPECT_EQ(v.component(), "PSCL2");
+    }
+}
+
+// --------------------------------------------------------------------------
+// Walker: early termination
+// --------------------------------------------------------------------------
+
+struct PtwPageSizeTest : ::testing::Test
+{
+    EventQueue eq;
+    test::MockMemory mem{eq, 50};
+    FrameAllocator fa;
+};
+
+TEST_F(PtwPageSizeTest, TwoMegWalkReadsFourLevels)
+{
+    PageTable pt(fa, HugePagePolicy{1.0, 0.0, 1});
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &pt);
+
+    PageSize seen = PageSize::Size4K;
+    w.walk(0, 0x40000000, 0, 0,
+           [&](Addr, PageSize ps, RespSource) { seen = ps; });
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), kPtLevels - 1);
+    EXPECT_EQ(seen, PageSize::Size2M);
+    EXPECT_EQ(w.stats().walksBySize[unsigned(PageSize::Size2M)], 1u);
+    EXPECT_EQ(w.stats().levelReads[0], 0u); // no level-1 read
+    EXPECT_EQ(w.stats().walkRefs.max(), kPtLevels - 1);
+    EXPECT_NO_THROW(w.checkInvariants());
+}
+
+TEST_F(PtwPageSizeTest, OneGigWalkReadsThreeLevels)
+{
+    PageTable pt(fa, HugePagePolicy{0.0, 1.0, 1});
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &pt);
+    w.walk(0, 0x40000000, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), kPtLevels - 2);
+    EXPECT_EQ(w.stats().walksBySize[unsigned(PageSize::Size1G)], 1u);
+}
+
+TEST_F(PtwPageSizeTest, PscHitClampsToLeafLevel)
+{
+    PageTable pt(fa, HugePagePolicy{1.0, 0.0, 1});
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &pt);
+
+    w.walk(0, 0x40000000, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+    const auto cold = mem.countOf(ReqType::Translation);
+
+    // Second 4K page in the same 2M mapping: PSCL3 hit says "start at
+    // level 2", which is exactly the leaf — one read.
+    w.walk(0, 0x40000000 + 5 * kPageSize, 0, 0,
+           [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), cold + 1);
+    EXPECT_EQ(w.stats().levelReads[1], 2u); // both walks read the leaf
+}
+
+TEST_F(PtwPageSizeTest, StlbFilledAtHugeGranule)
+{
+    PageTable pt(fa, HugePagePolicy{1.0, 0.0, 1});
+    Tlb stlb("stlb", 64, 4, 8);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &pt);
+    w.setStlb(&stlb);
+
+    const Addr vaddr = 0x40000000 | 0x3456;
+    w.walk(0, vaddr, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+
+    // One fill covers every 4K page of the 2M region.
+    Addr pa = 0;
+    EXPECT_TRUE(stlb.probe(0, 0x40000000 + 0x1ff123, pa));
+    EXPECT_EQ(pa, pt.translate(0x40000000 + 0x1ff123));
+    EXPECT_EQ(stlb.stats().fillsBySize[unsigned(PageSize::Size2M)], 1u);
+}
+
+// --------------------------------------------------------------------------
+// Walker: nested 2D guest×host translation
+// --------------------------------------------------------------------------
+
+struct PtwNestedTest : PtwPageSizeTest
+{
+    FrameAllocator hostFa;
+};
+
+TEST_F(PtwNestedTest, ColdNestedWalkMultipliesReferences)
+{
+    PageTable guest(fa), host(hostFa);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &guest);
+    w.setNestedTranslation(&host);
+    ASSERT_TRUE(w.nested());
+
+    Addr result = 0;
+    const Addr vaddr = 0x12345678;
+    w.walk(0, vaddr, 0, 0,
+           [&](Addr paddr, PageSize, RespSource) { result = paddr; });
+    test::drain(eq);
+
+    // 5 guest PTE reads, each behind a host sub-walk, plus the final
+    // host walk of the data address. The first sub-walk is cold (5 host
+    // reads); the guest tables share one 2M host region, so the host
+    // PSCL2 covers the rest (1 host read each): 5 + 5 + 5*1 = 15.
+    EXPECT_EQ(mem.countOf(ReqType::Translation), 15u);
+    EXPECT_EQ(w.stats().hostWalks, kPtLevels + 1);
+    std::uint64_t guestReads = 0, hostReads = 0;
+    for (unsigned l = 0; l < kPtLevels; ++l) {
+        guestReads += w.stats().levelReads[l];
+        hostReads += w.stats().hostLevelReads[l];
+    }
+    EXPECT_EQ(guestReads, kPtLevels);
+    EXPECT_EQ(hostReads, 10u);
+    EXPECT_EQ(w.stats().walkRefs.max(), 15u);
+
+    // The callback reports the *host* physical address.
+    EXPECT_EQ(result, host.translate(guest.translate(vaddr)));
+    EXPECT_NO_THROW(w.checkInvariants());
+}
+
+TEST_F(PtwNestedTest, WarmNestedWalkShrinksToThreeReads)
+{
+    PageTable guest(fa), host(hostFa);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &guest);
+    w.setNestedTranslation(&host);
+
+    w.walk(0, 0x12345000, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+    const auto cold = mem.countOf(ReqType::Translation);
+
+    // Adjacent page: guest PSCL2 hit (leaf only) and host PSCL2 hits
+    // for both the leaf's sub-walk and the data walk.
+    w.walk(0, 0x12346000, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+    EXPECT_EQ(mem.countOf(ReqType::Translation), cold + 3);
+}
+
+TEST_F(PtwNestedTest, NestedLeafCarriesHostReplayBlock)
+{
+    PageTable guest(fa), host(hostFa);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &guest);
+    w.setNestedTranslation(&host);
+
+    const Addr vaddr = 0x77777123;
+    w.walk(0, vaddr, 0, 0, [](Addr, PageSize, RespSource) {});
+    test::drain(eq);
+
+    const Addr hostPa = host.translate(guest.translate(vaddr));
+    unsigned leafSeen = 0;
+    for (const auto &r : mem.requests) {
+        if (r->type != ReqType::Translation)
+            continue;
+        if (r->leafPte) {
+            ++leafSeen;
+            EXPECT_TRUE(r->isLeafTranslation());
+            EXPECT_EQ(r->replayBlockPaddr, blockAlign(hostPa));
+        } else {
+            EXPECT_EQ(r->replayBlockPaddr, 0u);
+        }
+    }
+    // Exactly one leaf: host sub-walk reads never end the translation.
+    EXPECT_EQ(leafSeen, 1u);
+}
+
+TEST_F(PtwNestedTest, StlbCachesGuestToHostAtMinGranule)
+{
+    // Guest maps everything 2M; host stays 4K. The STLB entry can only
+    // be 4K wide: the host dimension fractures the guest huge page.
+    PageTable guest(fa, HugePagePolicy{1.0, 0.0, 1});
+    PageTable host(hostFa);
+    Tlb stlb("stlb", 64, 4, 8);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &guest);
+    w.setNestedTranslation(&host);
+    w.setStlb(&stlb);
+
+    PageSize seen = PageSize::Size1G;
+    const Addr vaddr = 0x40000000 | 0x3456;
+    w.walk(0, vaddr, 0, 0,
+           [&](Addr, PageSize ps, RespSource) { seen = ps; });
+    test::drain(eq);
+
+    EXPECT_EQ(seen, PageSize::Size4K);
+    EXPECT_EQ(stlb.stats().fillsBySize[unsigned(PageSize::Size4K)], 1u);
+    Addr pa = 0;
+    EXPECT_TRUE(stlb.probe(0, vaddr, pa));
+    EXPECT_EQ(pa, host.translate(guest.translate(vaddr)));
+    // The neighboring 4K page of the guest 2M mapping is NOT covered.
+    EXPECT_FALSE(stlb.probe(0, (vaddr + kPageSize) & ~Addr{0xfff}, pa));
+}
+
+TEST_F(PtwNestedTest, NestedWalksStillMerge)
+{
+    PageTable guest(fa), host(hostFa);
+    PageTableWalker w(eq, &mem, {});
+    w.addAddressSpace(0, &guest);
+    w.setNestedTranslation(&host);
+    int done = 0;
+    w.walk(0, 0x9000, 0, 0, [&](Addr, PageSize, RespSource) { ++done; });
+    w.walk(0, 0x9008, 0, 0, [&](Addr, PageSize, RespSource) { ++done; });
+    test::drain(eq);
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(w.stats().walks, 1u);
+    EXPECT_EQ(w.stats().merged, 1u);
+}
+
+} // namespace
+} // namespace tacsim
