@@ -22,29 +22,51 @@ downgrades to a warning instead of failing; pass --strict-host to keep
 it fatal anyway.
 
 Exit status: 0 on pass (including a host-mismatch downgrade), 1 on
-regression or malformed input.
+regression, 3 when a report file is missing/unreadable, 4 when a report
+file exists but is not a well-formed tacsim-bench-v1 report. The
+missing/malformed split lets CI distinguish "the measurement step never
+produced a report" (a pipeline problem) from "the report is corrupt or
+from another tool" (a data problem) without scraping stderr.
 """
 
 import argparse
 import json
 import sys
 
+EXIT_REGRESSION = 1
+EXIT_MISSING = 3
+EXIT_MALFORMED = 4
+
+
+def fail(code, message):
+    print(message, file=sys.stderr)
+    sys.exit(code)
+
 
 def load_report(path):
     try:
         with open(path, encoding="utf-8") as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+            body = f.read()
+    except OSError as e:
+        fail(EXIT_MISSING, f"error: cannot read report {path}: {e}")
+    try:
+        report = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(EXIT_MALFORMED, f"error: {path} is not valid JSON: {e}")
+    if not isinstance(report, dict):
+        fail(EXIT_MALFORMED, f"error: {path}: top level is not an object")
     if report.get("schema") != "tacsim-bench-v1":
-        sys.exit(f"error: {path}: expected schema tacsim-bench-v1, "
-                 f"got {report.get('schema')!r}")
+        fail(EXIT_MALFORMED,
+             f"error: {path}: expected schema tacsim-bench-v1, "
+             f"got {report.get('schema')!r}")
     try:
         eps = float(report["aggregate"]["events_per_sec"])
     except (KeyError, TypeError, ValueError):
-        sys.exit(f"error: {path}: missing aggregate.events_per_sec")
+        fail(EXIT_MALFORMED,
+             f"error: {path}: missing aggregate.events_per_sec")
     if eps <= 0:
-        sys.exit(f"error: {path}: non-positive aggregate throughput")
+        fail(EXIT_MALFORMED,
+             f"error: {path}: non-positive aggregate throughput")
     return report, eps
 
 

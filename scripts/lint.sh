@@ -3,15 +3,19 @@
 #   1. clang-tidy over src/ using .clang-tidy (skipped with a notice when
 #      clang-tidy is not installed, so the script stays usable in
 #      gcc-only containers).
-#   2. Source-level bans enforced with grep:
-#        - raw assert( in src/ — use TACSIM_CHECK (always on) or
-#          TACSIM_DCHECK (debug/verify builds) from common/types.hh so
-#          release builds keep their invariants;
-#        - #include <cassert> in src/, which would invite them back.
+#   2. tacsim-lint (tools/tacsim_lint.cc), the domain-aware analyzer:
+#      magic-page-constant, nondeterminism-hazard, unsequenced-rng,
+#      raw-assert, banned-include, hot-path-container and
+#      stats-registry-coverage over src/, gated against the committed
+#      (empty) baseline scripts/lint_baseline.txt. This replaced the old
+#      grep-based banned-idiom scan; run
+#      `tacsim-lint --list-checks` for the catalog and README.md
+#      ("Correctness tooling") for suppression syntax.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir (default: build) must contain compile_commands.json for
-#   the clang-tidy pass; pass 1 is skipped if it is missing.
+#   the clang-tidy pass (pass 1 is skipped if it is missing) and is
+#   where tacsim-lint is built if not already present.
 # Exits non-zero on any finding.
 
 set -u
@@ -35,25 +39,23 @@ else
     echo "== clang-tidy not installed — skipping tidy pass =="
 fi
 
-# ------------------------------------------------------- banned idioms --
-echo "== banned-idiom scan (src/) =="
-
-# Raw assert( — matched as a word so static_assert stays legal;
-# comment-only lines (//, *) are exempt.
-raw_asserts="$(grep -rnE '(^|[^_[:alnum:]])assert\(' "$repo_root/src" \
-        --include='*.cc' --include='*.hh' |
-    grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*)' || true)"
-if [ -n "$raw_asserts" ]; then
-    printf '%s\n' "$raw_asserts"
-    echo "error: raw assert() in src/ — use TACSIM_CHECK / TACSIM_DCHECK" \
-         "(common/types.hh)" >&2
-    status=1
+# ---------------------------------------------------------- tacsim-lint --
+echo "== tacsim-lint (src/) =="
+lint_bin="$build_dir/tacsim-lint"
+if [ ! -x "$lint_bin" ]; then
+    if [ -f "$build_dir/CMakeCache.txt" ]; then
+        cmake --build "$build_dir" --target tacsim-lint -j >/dev/null || {
+            echo "error: failed to build tacsim-lint" >&2
+            exit 2
+        }
+    else
+        echo "error: $build_dir is not configured — run cmake first" >&2
+        exit 2
+    fi
 fi
-
-if grep -rn '#include <cassert>' "$repo_root/src" \
-        --include='*.cc' --include='*.hh'; then
-    echo "error: <cassert> included in src/ — the TACSIM_CHECK macros" \
-         "replace it" >&2
+if ! "$lint_bin" --root "$repo_root" \
+        --baseline "$repo_root/scripts/lint_baseline.txt" \
+        "$repo_root/src"; then
     status=1
 fi
 

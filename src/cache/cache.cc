@@ -539,6 +539,7 @@ Cache::checkInvariants() const
 
         bool anyDemand = false;
         bool anyStore = false;
+        // tacsim-lint: allow(hot-path-container) checkInvariants-only duplicate detection, never on the simulated path
         std::unordered_set<const MemRequest *> unique;
         for (const auto &waiter : e.waiters) {
             if (!unique.insert(waiter.get()).second)

@@ -15,10 +15,10 @@
 #ifndef TACSIM_CACHE_RECALL_PROFILER_HH
 #define TACSIM_CACHE_RECALL_PROFILER_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block.hh"
+#include "common/addr_map.hh"
 #include "common/histogram.hh"
 #include "common/types.hh"
 
@@ -44,10 +44,9 @@ class RecallProfiler
         ++counters_[set];
         if (!tracked(set, cat))
             return;
-        auto it = evicted_.find(block);
-        if (it != evicted_.end()) {
-            histFor(cat).add(counters_[set] - it->second);
-            evicted_.erase(it);
+        if (const std::uint64_t *stamp = evicted_.find(block)) {
+            histFor(cat).add(counters_[set] - *stamp);
+            evicted_.erase(block);
         }
     }
 
@@ -55,10 +54,12 @@ class RecallProfiler
     void
     onEvict(std::uint32_t set, Addr block, BlockCat cat)
     {
-        if (!tracked(set, cat))
+        if (!tracked(set, cat) || evicted_.size() >= kMaxTracked)
             return;
-        if (evicted_.size() < kMaxTracked)
-            evicted_[block] = counters_[set];
+        if (std::uint64_t *stamp = evicted_.find(block))
+            *stamp = counters_[set];
+        else
+            evicted_.insert(block, counters_[set]);
     }
 
     const Histogram &translationHist() const { return trHist_; }
@@ -101,7 +102,9 @@ class RecallProfiler
 
     std::vector<std::uint64_t> counters_;
     std::uint32_t stride_;
-    std::unordered_map<Addr, std::uint64_t> evicted_;
+    /** Eviction stamps by block address; only ever probed by key, so
+     *  AddrMap's hash-dependent slot order cannot leak anywhere. */
+    AddrMap<std::uint64_t> evicted_;
     Histogram trHist_;
     Histogram replayHist_;
     Histogram dataHist_;

@@ -224,7 +224,15 @@ HawkeyePolicy::checkInvariants(const std::string &owner) const
                     set, w);
         }
     }
-    for (const auto &[set, ss] : samples_) {
+    // Sort the sampled-set keys so a violation always reports the
+    // lowest offending set, independent of hash-table slot order.
+    std::vector<std::uint32_t> sampledSets;
+    sampledSets.reserve(samples_.size());
+    for (const auto &[set, ss] : samples_) // tacsim-lint: allow(nondeterminism-hazard) key harvest only; the iteration below is over the sorted copy
+        sampledSets.push_back(set);
+    std::sort(sampledSets.begin(), sampledSets.end());
+    for (const std::uint32_t set : sampledSets) {
+        const SampledSet &ss = samples_.at(set);
         if (set >= sets_ || !isSampled(set)) {
             std::ostringstream os;
             os << "sampler holds non-sampled set " << set

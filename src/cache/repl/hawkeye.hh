@@ -97,6 +97,7 @@ class HawkeyePolicy : public ReplPolicy
     std::vector<std::uint8_t> rrpv_;
     std::vector<std::uint32_t> blockSig_;   ///< last-touching signature
     std::vector<std::uint8_t> blockFriendly_;
+    // tacsim-lint: allow(hot-path-container) sparse map over ~64 sampled sets, touched only on sampled-set accesses and only by keyed lookup
     std::unordered_map<std::uint32_t, SampledSet> samples_;
 };
 

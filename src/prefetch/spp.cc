@@ -21,7 +21,7 @@ void
 SppPrefetcher::train(std::uint32_t sig, std::int32_t delta)
 {
     PatternEntry &p = pattern(sig);
-    if (p.cSig == 0xffff) {
+    if (p.cSig == kSigCounterSaturation) {
         // Periodically halve to keep ratios meaningful.
         p.cSig >>= 1;
         for (auto &c : p.cDelta)

@@ -24,11 +24,18 @@ class SppPrefetcher : public Prefetcher
 {
   public:
     static constexpr std::size_t kSigTableEntries = 256;
-    static constexpr std::size_t kPatternEntries = 4096;
     static constexpr unsigned kDeltasPerSig = 4;
     static constexpr unsigned kSigBits = 12;
+    /** Pattern table is direct-mapped by signature, one entry per
+     *  possible kSigBits-bit signature (not page geometry). */
+    static constexpr std::size_t kPatternEntries = std::size_t{1}
+        << kSigBits;
     static constexpr unsigned kMaxLookahead = 8;
     static constexpr double kPrefetchThreshold = 0.25;
+    /** Saturation point of the per-signature occurrence counter
+     *  (cSig): at the uint16 ceiling all confidence counters are
+     *  halved together so the delta ratios stay meaningful. */
+    static constexpr std::uint16_t kSigCounterSaturation = 0xffff;
 
     void onAccess(const AccessInfo &ai, bool hit) override;
     std::string name() const override { return "SPP"; }

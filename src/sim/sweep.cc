@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <chrono> // tacsim-lint: allow(banned-include) wall-clock is reporting-only here (per-point wallMs); nothing simulated reads it
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -174,6 +174,7 @@ SweepRunner::execute(Job &job)
     o.warmup = job.warmup;
     o.seed = job.seed;
 
+    // tacsim-lint: allow(nondeterminism-hazard) measures host wall time for the report's wallMs field; never feeds simulation state
     const auto t0 = std::chrono::steady_clock::now();
     try {
         o.result = job.fn();
@@ -186,7 +187,7 @@ SweepRunner::execute(Job &job)
         o.error = "unknown exception";
     }
     o.wallMs = std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - t0)
+                   std::chrono::steady_clock::now() - t0) // tacsim-lint: allow(nondeterminism-hazard) reporting-only wall time (see t0 above)
                    .count();
     o.peakRssKb = peakRssKb();
 

@@ -49,6 +49,7 @@ struct ChampSimImportOptions
     std::uint64_t maxInstructions = 0; ///< 0 = import everything
 };
 
+// tacsim-lint: allow(stats-registry-coverage) one-shot import summary returned to the CLI and printed; not a simulation metric, no registry exists at import time
 struct ChampSimImportStats
 {
     std::uint64_t instructions = 0; ///< input_instr records consumed

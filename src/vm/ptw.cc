@@ -18,7 +18,13 @@ PageTableWalker::PageTableWalker(EventQueue &eq, MemDevice *port, Params p)
 void
 PageTableWalker::addAddressSpace(std::uint16_t asid, PageTable *pt)
 {
-    spaces_[asid] = pt;
+    for (auto &[id, table] : spaces_) {
+        if (id == asid) {
+            table = pt;
+            return;
+        }
+    }
+    spaces_.emplace_back(asid, pt);
 }
 
 void
@@ -162,7 +168,14 @@ PageTableWalker::startWalk(std::unique_ptr<WalkState> ws)
     ++stats_.walks;
     ++active_;
 
-    PageTable *pt = spaces_.at(ws->asid);
+    PageTable *pt = nullptr;
+    for (const auto &[id, table] : spaces_) {
+        if (id == ws->asid) {
+            pt = table;
+            break;
+        }
+    }
+    TACSIM_CHECK(pt != nullptr && "walk for an ASID with no page table");
     ws->info = pt->walk(ws->vaddr);
     ws->startedAt = eq_.now();
 

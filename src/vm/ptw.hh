@@ -36,7 +36,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/addr_map.hh"
@@ -214,7 +214,9 @@ class PageTableWalker
     std::uint32_t track_ = 0;
     std::uint32_t walkNameId_ = 0;
 
-    std::unordered_map<std::uint16_t, PageTable *> spaces_;
+    /** Page table per ASID. A handful of entries probed once per walk:
+     *  a flat array beats a node-based map (no hashing, no chase). */
+    std::vector<std::pair<std::uint16_t, PageTable *>> spaces_;
     AddrMap<std::shared_ptr<WalkState>> inflight_;
     std::deque<std::unique_ptr<WalkState>> queue_;
     unsigned active_ = 0;

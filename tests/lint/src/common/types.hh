@@ -1,0 +1,6 @@
+// tacsim-lint fixture standing in for common/types.hh: the one file
+// allowed to spell page geometry as raw numbers.
+constexpr unsigned long kPageSize = 4096;
+constexpr unsigned kPageMask = 0xfff;
+constexpr unsigned kPtIndexMask = 0x1ff;
+constexpr unsigned long vpnOf(unsigned long a) { return a >> 12; }

@@ -1,0 +1,6 @@
+// tacsim-lint fixture: malformed suppressions (each is a finding).
+namespace fix {
+int noReason(); // tacsim-lint: allow(raw-assert)
+int unknownCheck(); // tacsim-lint: allow(no-such-check) because reasons
+int badSyntax(); // tacsim-lint: please ignore this line
+} // namespace fix

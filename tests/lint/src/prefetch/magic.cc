@@ -1,0 +1,10 @@
+// tacsim-lint fixture: seeded magic-page-constant violations.
+namespace fix {
+unsigned long pageSize() { return 4096; }
+unsigned mask(unsigned a) { return a & 0xfff; }
+unsigned vpn(unsigned a) { return a >> 12; }
+unsigned ptIndex(unsigned a) { return a & 0x1ff; }
+unsigned long table() { return 4096; } // tacsim-lint: allow(magic-page-constant) fixture: a table size that is not page geometry
+unsigned big(unsigned a) { return a << 21; } // not in the banned set
+const char *text() { return "4096 >> 12"; }  // literal: never flagged
+} // namespace fix

@@ -1,0 +1,30 @@
+// tacsim-lint fixture: seeded nondeterminism-hazard violations.
+#include <unordered_map>
+namespace fix {
+struct Telemetry
+{
+    std::unordered_map<int, int> counts_;
+    unsigned long seed() { return std::rand(); }
+    unsigned long stamp() { return std::chrono::steady_clock::now(); }
+    unsigned long okTime(int time) { return time; } // not a call
+    void
+    drain()
+    {
+        for (const auto &kv : counts_)
+            (void)kv;
+    }
+    void
+    drainAllowed()
+    {
+        // tacsim-lint: allow(nondeterminism-hazard) fixture: consumer sorts before anything observable
+        for (const auto &kv : counts_)
+            (void)kv;
+    }
+    void
+    drainVector(const int (&v)[4])
+    {
+        for (int x : v) // ordered container: never flagged
+            (void)x;
+    }
+};
+} // namespace fix

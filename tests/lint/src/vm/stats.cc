@@ -1,0 +1,10 @@
+// tacsim-lint fixture: registration side of stats.hh.
+#include "vm/stats.hh"
+namespace fix {
+void
+registerMetrics(Registry &registry, WalkerStats &stats_)
+{
+    registry.addCounter("walker.walks", &stats_.walks);
+    registry.addHistogram("walker.latency", &stats_.latency);
+}
+} // namespace fix

@@ -1,0 +1,18 @@
+// tacsim-lint fixture: seeded stats-registry-coverage violations.
+#include <cstdint>
+namespace fix {
+struct WalkerStats
+{
+    std::uint64_t walks = 0;  // registered in stats.cc
+    std::uint64_t stalls = 0; // never registered: finding
+    Histogram latency{};      // registered in stats.cc
+    double notACounter = 0.0; // wrong type: ignored by the check
+    std::uint64_t total() const { return walks + stalls; }
+    void reset() { *this = WalkerStats{}; }
+};
+// tacsim-lint: allow(stats-registry-coverage) fixture: import summary printed by the CLI, no registry exists there
+struct ImportStats
+{
+    std::uint64_t rows = 0; // suppressed by the struct-level allow
+};
+} // namespace fix

@@ -1,0 +1,20 @@
+// tacsim-lint fixture: seeded unsequenced-rng violations.
+namespace fix {
+long combine(long a, long b);
+struct Gen
+{
+    long bad() { return combine(rng_.next(), rng_.next()); }
+    long
+    good()
+    {
+        const long a = rng_.next();
+        const long b = rng_.next();
+        return combine(a, b);
+    }
+    long goodBranch() { return rng_.chance(0.5) ? rng_.next() : 0; }
+    long goodInit() { return sum({rng_.next(), rng_.next()}); }
+    long allowed() { return combine(rng_.next(), rng_.next()); } // tacsim-lint: allow(unsequenced-rng) fixture: operands commute
+    long sum(std::initializer_list<long> xs);
+    Rng rng_;
+};
+} // namespace fix

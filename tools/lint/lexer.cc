@@ -1,0 +1,376 @@
+/**
+ * @file
+ * The tacsim-lint lexer: a single forward pass that strips comments,
+ * string/char literals and raw strings, resolves integer literal
+ * values (hex/octal/binary, digit separators, suffixes), tags tokens
+ * with preprocessor context, and spells multi-character punctuators
+ * with longest-match — everything the checks need to reason about
+ * source structure without a real parser.
+ */
+
+#include "lint/lint.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tacsim {
+namespace lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within each leading
+ *  character (linear scan is fine at lexer speed). */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>", "<=",
+    ">=", "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=",  "^=",  "++",  "--",  "##",
+};
+
+/** Parse the numeric value of an integer literal spelling; returns
+ *  false for floating literals or anything strtoull rejects. */
+bool
+integerValue(const std::string &text, std::uint64_t &value)
+{
+    std::string digits;
+    digits.reserve(text.size());
+    for (char c : text) {
+        if (c == '\'')
+            continue; // digit separator
+        digits.push_back(c);
+    }
+    // Trim integer suffixes (u, l, ll, z and case/mixed variants).
+    std::size_t end = digits.size();
+    while (end > 0) {
+        const char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(digits[end - 1])));
+        if (c == 'u' || c == 'l' || c == 'z')
+            --end;
+        else
+            break;
+    }
+    std::string body = digits.substr(0, end);
+    if (body.empty())
+        return false;
+    const bool hex = body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X');
+    if (!hex &&
+        (body.find('.') != std::string::npos ||
+         body.find('e') != std::string::npos ||
+         body.find('E') != std::string::npos))
+        return false; // floating literal
+    if (!hex &&
+        (body.find('p') != std::string::npos ||
+         body.find('P') != std::string::npos))
+        return false; // hex-float exponent (would need the 0x path)
+    // strtoull's base-0 autodetection predates C++14 binary literals.
+    int base = 0;
+    if (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'b' || body[1] == 'B')) {
+        body.erase(0, 2);
+        base = 2;
+    }
+    char *parsed = nullptr;
+    const unsigned long long v =
+        std::strtoull(body.c_str(), &parsed, base);
+    if (parsed == nullptr || *parsed != '\0')
+        return false;
+    value = v;
+    return true;
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        while (pos_ < src_.size())
+            step();
+        return std::move(out_);
+    }
+
+  private:
+    char
+    at(std::size_t i) const
+    {
+        return i < src_.size() ? src_[i] : '\0';
+    }
+
+    void
+    advance(std::size_t n = 1)
+    {
+        while (n-- > 0 && pos_ < src_.size()) {
+            if (src_[pos_] == '\n') {
+                ++line_;
+                col_ = 1;
+                // A preprocessor directive ends at an unescaped newline.
+                if (inPp_ && !lineContinued_)
+                    inPp_ = ppIncludeArmed_ = false;
+                lineContinued_ = false;
+                atLineStart_ = true;
+            } else {
+                ++col_;
+                if (!std::isspace(static_cast<unsigned char>(src_[pos_])))
+                    atLineStart_ = false;
+            }
+            ++pos_;
+        }
+    }
+
+    void
+    emit(Tok kind, std::string text, int line, int col)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        t.col = col;
+        t.inPp = inPp_;
+        if (kind == Tok::Number)
+            t.valueValid = integerValue(t.text, t.value);
+        // Track "#include" so the next <...> or "..." lexes as Header;
+        // any other operand token disarms it.
+        if (inPp_ && kind == Tok::Ident &&
+            (t.text == "include" || t.text == "include_next"))
+            ppIncludeArmed_ = true;
+        else if (kind != Tok::Punct || t.text != "#")
+            ppIncludeArmed_ = false;
+        out_.push_back(std::move(t));
+    }
+
+    void
+    step()
+    {
+        const char c = at(pos_);
+        const char n = at(pos_ + 1);
+
+        if (c == '\\' && n == '\n') { // line continuation
+            lineContinued_ = true;
+            advance(); // consume '\\'; newline handled by advance()
+            advance();
+            lineContinued_ = false;
+            if (inPp_) // continuation keeps the directive open
+                return;
+            return;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            return;
+        }
+        if (c == '/' && n == '/') { // line comment
+            while (pos_ < src_.size() && at(pos_) != '\n') {
+                if (at(pos_) == '\\' && at(pos_ + 1) == '\n')
+                    advance(); // comment continues past escaped newline
+                advance();
+            }
+            return;
+        }
+        if (c == '/' && n == '*') { // block comment
+            advance(2);
+            while (pos_ < src_.size() &&
+                   !(at(pos_) == '*' && at(pos_ + 1) == '/'))
+                advance();
+            advance(2);
+            return;
+        }
+        if (c == '#' && atLineStart_ && !inPp_) {
+            inPp_ = true;
+            emit(Tok::Punct, "#", line_, col_);
+            advance();
+            return;
+        }
+        if (ppIncludeArmed_ && (c == '<' || c == '"')) {
+            lexHeaderName(c == '<' ? '>' : '"');
+            return;
+        }
+        if (c == '"') {
+            lexString();
+            return;
+        }
+        if (c == '\'') {
+            lexCharLit();
+            return;
+        }
+        if (isIdentStart(c)) {
+            lexIdentOrRawString();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(n)))) {
+            lexNumber();
+            return;
+        }
+        lexPunct();
+    }
+
+    void
+    lexHeaderName(char close)
+    {
+        const int line = line_, col = col_;
+        advance(); // opening < or "
+        std::string name;
+        while (pos_ < src_.size() && at(pos_) != close &&
+               at(pos_) != '\n') {
+            name.push_back(at(pos_));
+            advance();
+        }
+        if (at(pos_) == close)
+            advance();
+        ppIncludeArmed_ = false;
+        emit(Tok::Header, std::move(name), line, col);
+    }
+
+    void
+    lexString()
+    {
+        const int line = line_, col = col_;
+        advance(); // opening quote
+        while (pos_ < src_.size()) {
+            const char c = at(pos_);
+            if (c == '\\') {
+                advance(2);
+                continue;
+            }
+            if (c == '"' || c == '\n') {
+                advance();
+                break;
+            }
+            advance();
+        }
+        emit(Tok::String, "\"\"", line, col);
+    }
+
+    void
+    lexCharLit()
+    {
+        const int line = line_, col = col_;
+        advance();
+        while (pos_ < src_.size()) {
+            const char c = at(pos_);
+            if (c == '\\') {
+                advance(2);
+                continue;
+            }
+            if (c == '\'' || c == '\n') {
+                advance();
+                break;
+            }
+            advance();
+        }
+        emit(Tok::String, "''", line, col);
+    }
+
+    void
+    lexIdentOrRawString()
+    {
+        const int line = line_, col = col_;
+        std::string text;
+        while (isIdentChar(at(pos_))) {
+            text.push_back(at(pos_));
+            advance();
+        }
+        // R"delim( ... )delim" — including u8R / uR / LR prefixes.
+        if (at(pos_) == '"' &&
+            (text == "R" || text == "u8R" || text == "uR" || text == "LR" ||
+             text == "UR")) {
+            advance(); // the quote
+            std::string delim;
+            while (pos_ < src_.size() && at(pos_) != '(') {
+                delim.push_back(at(pos_));
+                advance();
+            }
+            advance(); // '('
+            const std::string closer = ")" + delim + "\"";
+            while (pos_ < src_.size() &&
+                   src_.compare(pos_, closer.size(), closer) != 0)
+                advance();
+            advance(closer.size());
+            emit(Tok::String, "\"\"", line, col);
+            return;
+        }
+        // Other encoding prefixes glued to a quote (u8"x", L'c'): emit
+        // the prefix as an identifier and let step() lex the literal.
+        emit(Tok::Ident, std::move(text), line, col);
+    }
+
+    void
+    lexNumber()
+    {
+        const int line = line_, col = col_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = at(pos_);
+            if (isIdentChar(c) || c == '\'' || c == '.') {
+                text.push_back(c);
+                advance();
+                continue;
+            }
+            // Exponent sign: 1e+5, 0x1p-3.
+            if ((c == '+' || c == '-') && !text.empty()) {
+                const char prev = static_cast<char>(std::tolower(
+                    static_cast<unsigned char>(text.back())));
+                const bool hex = text.size() > 1 && text[0] == '0' &&
+                    (text[1] == 'x' || text[1] == 'X');
+                if ((!hex && prev == 'e') || (hex && prev == 'p')) {
+                    text.push_back(c);
+                    advance();
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(Tok::Number, std::move(text), line, col);
+    }
+
+    void
+    lexPunct()
+    {
+        const int line = line_, col = col_;
+        for (const char *p : kPuncts) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (src_.compare(pos_, len, p) == 0) {
+                advance(len);
+                emit(Tok::Punct, p, line, col);
+                return;
+            }
+        }
+        std::string one(1, at(pos_));
+        advance();
+        emit(Tok::Punct, std::move(one), line, col);
+    }
+
+    const std::string &src_;
+    std::vector<Token> out_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool inPp_ = false;
+    bool ppIncludeArmed_ = false;
+    bool atLineStart_ = true;
+    bool lineContinued_ = false;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    return Lexer(src).run();
+}
+
+} // namespace lint
+} // namespace tacsim
