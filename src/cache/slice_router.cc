@@ -1,0 +1,76 @@
+#include "cache/slice_router.hh"
+
+#include "cache/cache.hh"
+#include "obs/registry.hh"
+
+namespace tacsim {
+
+SliceRouter::SliceRouter(std::string name, EventQueue &eq,
+                         std::vector<Cache *> slices, std::uint32_t smt,
+                         Cycle hopLatency)
+    : name_(std::move(name)),
+      eq_(eq),
+      slices_(std::move(slices)),
+      sliceMask_(static_cast<std::uint32_t>(slices_.size()) - 1),
+      smt_(smt ? smt : 1),
+      hopLatency_(hopLatency)
+{
+    const std::size_t n = slices_.size();
+    TACSIM_CHECK(n > 0 && (n & (n - 1)) == 0 &&
+                 "slice count must be a power of two");
+}
+
+std::uint32_t
+SliceRouter::sliceOf(Addr paddr) const
+{
+    return static_cast<std::uint32_t>(paddr >> kBlockBits) & sliceMask_;
+}
+
+std::uint32_t
+SliceRouter::hops(std::uint32_t core, std::uint32_t slice) const
+{
+    const std::uint32_t stop = core & sliceMask_;
+    const std::uint32_t n = sliceMask_ + 1;
+    const std::uint32_t d = stop > slice ? stop - slice : slice - stop;
+    return d < n - d ? d : n - d;
+}
+
+void
+SliceRouter::access(const MemRequestPtr &req)
+{
+    const std::uint32_t slice = sliceOf(req->blockAddr());
+    Cache *home = slices_[slice];
+    ++stats_.routed;
+
+    Cycle extra = 0;
+    if (hopLatency_ != 0) {
+        // Writebacks and prefetch children have no issuing context
+        // (cpu defaults to 0); charging them core 0's distance would
+        // make slice 0 artificially close. Charge the ring diameter.
+        const bool attributed =
+            req->type != ReqType::Writeback &&
+            req->type != ReqType::Prefetch;
+        const std::uint32_t h = attributed
+            ? hops(req->cpu / smt_, slice)
+            : (sliceMask_ + 1) / 2;
+        extra = hopLatency_ * h;
+    }
+    if (extra == 0) {
+        home->access(req);
+        return;
+    }
+    stats_.hopCycles += extra;
+    MemRequestPtr keep = req;
+    eq_.schedule(extra, [home, keep] { home->access(keep); });
+}
+
+void
+SliceRouter::registerMetrics(obs::Registry &registry,
+                             const std::string &prefix)
+{
+    registry.addCounter(prefix + ".routed", &stats_.routed);
+    registry.addCounter(prefix + ".hop_cycles", &stats_.hopCycles);
+    registry.addResetHook([this] { resetStats(); });
+}
+
+} // namespace tacsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Address-interleaved router in front of a sliced shared LLC.
+ *
+ * Block addresses map to slices by low block-number bits (slice =
+ * blockNumber mod slices), the standard static NUCA interleave, so
+ * consecutive blocks stripe across slices. The optional latency model
+ * charges hopLatency cycles per ring hop between the requesting core's
+ * ring stop (core mod slices) and the home slice, on the request path
+ * only (the response share is folded into the same charge). Requests
+ * with no attributed core (writebacks, prefetch children) pay the
+ * worst-case distance so the model stays conservative and simple.
+ */
+
+#ifndef TACSIM_CACHE_SLICE_ROUTER_HH
+#define TACSIM_CACHE_SLICE_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "mem/request.hh"
+
+namespace tacsim {
+
+class Cache;
+
+namespace obs {
+class Registry;
+} // namespace obs
+
+/** Counters for the slice interconnect. */
+struct SliceRouterStats
+{
+    std::uint64_t routed = 0;    ///< requests forwarded to a slice
+    std::uint64_t hopCycles = 0; ///< total hop latency charged
+
+    void reset() { *this = SliceRouterStats{}; }
+};
+
+class SliceRouter : public MemDevice
+{
+  public:
+    /**
+     * @param slices home slices in interleave order (power of two).
+     * @param smt hardware threads per core (request cpu -> core).
+     * @param hopLatency cycles per ring hop; 0 forwards immediately.
+     */
+    SliceRouter(std::string name, EventQueue &eq,
+                std::vector<Cache *> slices, std::uint32_t smt,
+                Cycle hopLatency);
+
+    void access(const MemRequestPtr &req) override;
+    const std::string &name() const override { return name_; }
+
+    /** Home slice for @p paddr (low block-number bits). */
+    std::uint32_t sliceOf(Addr paddr) const;
+    /** Ring distance from core @p core to slice @p slice. */
+    std::uint32_t hops(std::uint32_t core, std::uint32_t slice) const;
+
+    const SliceRouterStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+    void registerMetrics(obs::Registry &registry,
+                         const std::string &prefix);
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+    std::vector<Cache *> slices_;
+    std::uint32_t sliceMask_;
+    std::uint32_t smt_;
+    Cycle hopLatency_;
+    SliceRouterStats stats_;
+};
+
+} // namespace tacsim
+
+#endif // TACSIM_CACHE_SLICE_ROUTER_HH

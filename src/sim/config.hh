@@ -104,6 +104,20 @@ struct SystemConfig
     CacheGeometry l2{512 * 1024, 8, 10, 64};
     CacheGeometry llcPerCore{2 * 1024 * 1024, 16, 20, 128};
 
+    // Shared-LLC composition (sim/topology.hh writes these; the
+    // defaults reproduce the fixed pre-topology machine exactly).
+    /** Total LLC bytes; 0 derives llcPerCore.sizeBytes * numCores. */
+    std::uint64_t llcTotalBytes = 0;
+    /** Address-interleaved LLC slices (power of two; 1 = monolithic). */
+    unsigned llcSlices = 1;
+    /** Extra cycles per ring hop from a core to a remote slice. */
+    Cycle llcSliceHopLatency = 0;
+    /** Per-core cap on live MSHRs in each LLC slice; 0 disables. */
+    std::uint32_t llcMshrQuotaPerCore = 0;
+    /** Per-core LLC demand lookups per llcBwWindow cycles; 0 = off. */
+    std::uint32_t llcBwTokensPerCore = 0;
+    Cycle llcBwWindow = 64;
+
     PolicyKind l2Policy = PolicyKind::DRRIP;
     ReplOpts l2Opts;
     PolicyKind llcPolicy = PolicyKind::SHiP;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/path.hh"
+#include "sim/verify.hh"
 
 namespace tacsim {
 
@@ -100,7 +101,7 @@ collectResult(System &sys, const std::string &name)
     r.l2NonReplayMpki = mpki(l2NonReplay);
     r.l2Ptl1Mpki = mpki(l2Ptl1);
 
-    const CacheStats &ls = sys.llc().stats();
+    const CacheStats ls = sys.llcStats(); // summed across slices
     r.llcReplayMpki = mpki(ls.at(ls.misses, BlockCat::Replay));
     r.llcNonReplayMpki = mpki(ls.at(ls.misses, BlockCat::NonReplay));
     r.llcPtl1Mpki = mpki(ls.at(ls.misses, BlockCat::PtLeaf));
@@ -147,8 +148,8 @@ collectResult(System &sys, const std::string &name)
     for (std::size_t c = 0; c < nCores; ++c) {
         r.atpIssued += sys.l2(c).stats().atpIssued;
     }
-    r.atpIssued += sys.llc().stats().atpIssued;
-    r.atpUseful = sys.llc().stats().atpUseful;
+    r.atpIssued += ls.atpIssued;
+    r.atpUseful = ls.atpUseful;
     for (std::size_t c = 0; c < nCores; ++c)
         r.atpUseful += sys.l2(c).stats().atpUseful;
     r.tempoIssued = sys.dram().stats().tempoPrefetches;
@@ -231,6 +232,13 @@ runWorkloads(const SystemConfig &cfg,
         runCfg.obs.label = label;
 
     System sys(runCfg, std::move(workloads));
+#ifdef TACSIM_VERIFY_ENABLED
+    // Verify builds check the whole hierarchy periodically on every
+    // run, not just in tests that attach a checker by hand; walking a
+    // mapped page table is side-effect free, so results are unchanged.
+    verify::Checker checker(sys);
+    sys.attachChecker(&checker);
+#endif
     sys.warmup(warmup);
     sys.run(instructionsPerThread);
     return collectResult(sys, label);

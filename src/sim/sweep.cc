@@ -11,6 +11,7 @@
 
 #include "common/host.hh"
 #include "obs/path.hh"
+#include "sim/topology.hh"
 
 namespace tacsim {
 
@@ -123,6 +124,7 @@ SweepRunner::addMix(const std::string &key, const SystemConfig &cfg,
     job.instructions = instructions ? instructions : defaultInstructions();
     job.warmup = warmup ? warmup : defaultWarmup();
     job.seed = cfg.seed;
+    job.topology = dumpTopologySpec(topologyOf(cfg));
     for (std::size_t t = 0; t < mix.size(); ++t) {
         if (t)
             job.benchmark += "-";
@@ -145,6 +147,7 @@ SweepRunner::addSpec(const std::string &key, const SystemConfig &cfg,
     job.instructions = instructions ? instructions : defaultInstructions();
     job.warmup = warmup ? warmup : defaultWarmup();
     job.seed = cfg.seed;
+    job.topology = dumpTopologySpec(topologyOf(cfg));
     // benchmark stays empty: execute() labels the outcome with the
     // workload's own name (trace headers carry the benchmark name).
     job.fn = [cfg = configForPoint(cfg, key), spec,
@@ -170,6 +173,7 @@ SweepRunner::execute(Job &job)
     SweepOutcome o;
     o.key = job.key;
     o.benchmark = job.benchmark;
+    o.topology = job.topology;
     o.instructions = job.instructions;
     o.warmup = job.warmup;
     o.seed = job.seed;
@@ -319,11 +323,13 @@ SweepRunner::writeJson(const std::string &path, const std::string &title,
         std::fprintf(
             f,
             "%s\n    {\"key\": \"%s\", \"benchmark\": \"%s\", "
+            "\"topology\": \"%s\", "
             "\"instructions\": %llu, \"warmup\": %llu, \"seed\": %llu, "
             "\"ok\": %s, \"wall_ms\": %s, \"cycles\": %llu, "
             "\"ipc\": %s, \"error\": %s}",
             i ? "," : "", jsonEscape(o.key).c_str(),
             jsonEscape(o.benchmark).c_str(),
+            jsonEscape(o.topology).c_str(),
             static_cast<unsigned long long>(o.instructions),
             static_cast<unsigned long long>(o.warmup),
             static_cast<unsigned long long>(o.seed),

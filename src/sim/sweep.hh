@@ -59,6 +59,9 @@ struct SweepOutcome
 
     // Job metadata echoed for the JSON report.
     std::string benchmark;
+    /** Canonical topology spec of the point's config ("" for custom
+     *  jobs; see sim/topology.hh). */
+    std::string topology;
     std::uint64_t instructions = 0;
     std::uint64_t warmup = 0;
     std::uint64_t seed = 0;
@@ -137,6 +140,7 @@ class SweepRunner
         std::string key;
         std::function<RunResult()> fn;
         std::string benchmark; ///< "-"-joined mix name ("" for custom)
+        std::string topology;  ///< canonical spec ("" for custom)
         std::uint64_t instructions = 0, warmup = 0, seed = 0;
         bool done = false;
     };

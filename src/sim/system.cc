@@ -4,17 +4,34 @@
 
 #include "cache/repl/csalt.hh"
 #include "cache/repl/deadblock.hh"
+#include "cache/slice_router.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/timeseries.hh"
+#include "sim/topology.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
 
-std::unique_ptr<ReplPolicy>
-System::buildLlcPolicy(std::uint32_t sets, std::uint32_t ways) const
+namespace {
+
+unsigned
+log2OfPow2(std::uint64_t v)
 {
-    auto base =
-        makePolicy(cfg_.llcPolicy, sets, ways, cfg_.llcOpts, cfg_.seed);
+    unsigned bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+std::unique_ptr<ReplPolicy>
+System::buildLlcPolicy(std::uint32_t sets, std::uint32_t ways,
+                       std::uint64_t seed) const
+{
+    auto base = makePolicy(cfg_.llcPolicy, sets, ways, cfg_.llcOpts, seed);
     if (cfg_.llcDeadBlock)
         return std::make_unique<DeadBlockPolicy>(sets, ways, cfg_.llcOpts,
                                                  std::move(base));
@@ -28,6 +45,12 @@ System::System(SystemConfig cfg,
                std::vector<std::unique_ptr<Workload>> workloads)
     : cfg_(cfg), workloads_(std::move(workloads))
 {
+    // Every composition decision below flows from the declarative
+    // topology the config describes; reject inconsistent shapes (bad
+    // slice/set ratios, zero cores) before building anything.
+    const TopologySpec topo = topologyOf(cfg_);
+    validateTopology(topo, cfg_.llcPerCore.sizeBytes);
+
     const unsigned threads = cfg_.threads();
     TACSIM_CHECK(workloads_.size() == threads &&
                  "need one workload per hardware thread");
@@ -51,36 +74,78 @@ System::System(SystemConfig cfg,
             std::make_unique<PageTable>(hostFrames_, hostPolicy);
     }
 
-    // DRAM: one channel per four cores (Table I).
+    // DRAM: explicit channel count from the topology, else one channel
+    // per four cores (Table I).
     DramParams dp = cfg_.dram;
     if (dp.channels == 1 && cfg_.numCores > 4)
         dp.channels = (cfg_.numCores + 3) / 4;
     dp.tempo = cfg_.tempo;
     dram_ = std::make_unique<Dram>("DRAM", eq_, dp);
 
-    // Shared LLC (2MB per core).
+    // Shared LLC: total capacity from the topology (default 2MB per
+    // core), address-interleaved across llcSlices independent Cache
+    // instances. Each slice indexes above the slice-select bits so
+    // sibling slices cover disjoint sets of the monolithic geometry.
+    const unsigned slices = cfg_.llcSlices ? cfg_.llcSlices : 1;
+    llcSliceMask_ = slices - 1;
     {
-        CacheParams p;
-        p.name = "LLC";
-        const std::uint32_t size =
-            cfg_.llcPerCore.sizeBytes * cfg_.numCores;
-        p.ways = cfg_.llcPerCore.ways;
-        p.sets = size / (p.ways * static_cast<std::uint32_t>(kBlockSize));
-        p.latency = cfg_.llcPerCore.latency;
-        p.mshrs = cfg_.llcPerCore.mshrs * cfg_.numCores;
-        p.level = RespSource::LLC;
-        p.idealTranslations = cfg_.idealLlcTranslations;
-        p.idealReplays = cfg_.idealLlcReplays;
-        p.atp = cfg_.atpLlc;
-        p.profileRecall = cfg_.profileCacheRecall;
-        llc_ = std::make_unique<Cache>(p, eq_, dram_.get(),
-                                       buildLlcPolicy(p.sets, p.ways));
+        const std::uint64_t llcBytes = cfg_.llcTotalBytes
+            ? cfg_.llcTotalBytes
+            : static_cast<std::uint64_t>(cfg_.llcPerCore.sizeBytes) *
+                cfg_.numCores;
+        const std::uint32_t ways = cfg_.llcPerCore.ways;
+        const std::uint32_t setsTotal = static_cast<std::uint32_t>(
+            llcBytes / (static_cast<std::uint64_t>(ways) * kBlockSize));
+        const std::uint32_t mshrsTotal =
+            cfg_.llcPerCore.mshrs * cfg_.numCores;
+
+        for (unsigned s = 0; s < slices; ++s) {
+            CacheParams p;
+            p.name = slices > 1 ? "LLC." + std::to_string(s) : "LLC";
+            p.ways = ways;
+            p.sets = setsTotal / slices;
+            p.setShift = kBlockBits + log2OfPow2(slices);
+            p.latency = cfg_.llcPerCore.latency;
+            p.mshrs = std::max<std::uint32_t>(1, mshrsTotal / slices);
+            p.level = RespSource::LLC;
+            p.idealTranslations = cfg_.idealLlcTranslations;
+            p.idealReplays = cfg_.idealLlcReplays;
+            p.atp = cfg_.atpLlc;
+            p.profileRecall = cfg_.profileCacheRecall;
+            p.arb.cores = cfg_.llcMshrQuotaPerCore ||
+                    cfg_.llcBwTokensPerCore
+                ? cfg_.numCores
+                : 0;
+            p.arb.smt = cfg_.threadsPerCore;
+            p.arb.mshrQuota = cfg_.llcMshrQuotaPerCore;
+            p.arb.bwTokens = cfg_.llcBwTokensPerCore;
+            p.arb.bwWindow = cfg_.llcBwWindow ? cfg_.llcBwWindow : 64;
+            llc_.push_back(std::make_unique<Cache>(
+                p, eq_, dram_.get(),
+                buildLlcPolicy(p.sets, p.ways, cfg_.seed + s)));
+        }
     }
 
+    // The slice interconnect fronts the L2s only when there is
+    // something to route; a monolithic LLC keeps the direct path (and
+    // byte-identical behavior with the pre-topology composition).
+    if (slices > 1) {
+        std::vector<Cache *> homes;
+        homes.reserve(slices);
+        for (auto &s : llc_)
+            homes.push_back(s.get());
+        llcRouter_ = std::make_unique<SliceRouter>(
+            "LLCRouter", eq_, std::move(homes), cfg_.threadsPerCore,
+            cfg_.llcSliceHopLatency);
+    }
+    MemDevice *llcFront =
+        llcRouter_ ? static_cast<MemDevice *>(llcRouter_.get())
+                   : static_cast<MemDevice *>(llc_[0].get());
+
     if (cfg_.tempo) {
-        Cache *llc = llc_.get();
-        dram_->setTempoHook([llc](Addr block, Addr ip) {
-            llc->issuePrefetch(block, PrefetchOrigin::Tempo, ip);
+        dram_->setTempoHook([this](Addr block, Addr ip) {
+            llcSliceFor(block).issuePrefetch(block, PrefetchOrigin::Tempo,
+                                             ip);
         });
     }
 
@@ -104,7 +169,7 @@ System::System(SystemConfig cfg,
             auto pol = makePolicy(cfg_.l2Policy, p.sets, p.ways,
                                   cfg_.l2Opts, cfg_.seed + c);
             auto pf = makePrefetcher(cfg_.l2Prefetcher);
-            l2_.push_back(std::make_unique<Cache>(p, eq_, llc_.get(),
+            l2_.push_back(std::make_unique<Cache>(p, eq_, llcFront,
                                                   std::move(pol),
                                                   std::move(pf)));
         }
@@ -187,7 +252,13 @@ System::System(SystemConfig cfg,
         l1d_[c]->registerMetrics(registry_, "l1d" + suffix);
         l2_[c]->registerMetrics(registry_, "l2c" + suffix);
     }
-    llc_->registerMetrics(registry_, "llc");
+    for (std::size_t s = 0; s < llc_.size(); ++s) {
+        const std::string ssuffix =
+            llc_.size() > 1 ? "." + std::to_string(s) : "";
+        llc_[s]->registerMetrics(registry_, "llc" + ssuffix);
+    }
+    if (llcRouter_)
+        llcRouter_->registerMetrics(registry_, "noc");
     dram_->registerMetrics(registry_, "dram");
 
     // Timeline tracing (off unless a path was configured; components
@@ -209,7 +280,8 @@ System::System(SystemConfig cfg,
             l2_[c]->setTracer(
                 tracer_.get(), tracer_->addTrack(l2_[c]->name()));
         }
-        llc_->setTracer(tracer_.get(), tracer_->addTrack(llc_->name()));
+        for (auto &s : llc_)
+            s->setTracer(tracer_.get(), tracer_->addTrack(s->name()));
         dram_->setTracer(tracer_.get(),
                          tracer_->addTrack(dram_->name()));
     }
@@ -286,11 +358,22 @@ System::run(std::uint64_t instrPerThread)
         ++cycle_;
     }
 
+    ranOnce_ = true;
+
 #ifdef TACSIM_VERIFY_ENABLED
     // Drain point: the run target is met, no core mid-retire.
     if (checker_)
         checker_->onDrain();
 #endif
+}
+
+CacheStats
+System::llcStats() const
+{
+    CacheStats total;
+    for (const auto &s : llc_)
+        total.add(s->stats());
+    return total;
 }
 
 void

@@ -9,6 +9,14 @@
  * their core's DTLB, STLB, walker and L1D; all cores share the LLC and
  * DRAM. This mirrors the paper's single-core, 2-way SMT and 8-core
  * evaluations (§V).
+ *
+ * The machine shape is fully described by a TopologySpec
+ * (sim/topology.hh): core/SMT counts, total LLC capacity, the LLC's
+ * address-interleaved slicing (one Cache per slice behind a
+ * SliceRouter), derived DRAM channels, and the per-core MSHR-quota /
+ * bandwidth-token arbitration the shared slices apply. The defaults
+ * reproduce the fixed pre-topology machine exactly: one monolithic
+ * slice, no router, no arbitration.
  */
 
 #ifndef TACSIM_SIM_SYSTEM_HH
@@ -39,6 +47,8 @@ namespace verify {
 class Checker;
 } // namespace verify
 
+class SliceRouter;
+
 class System
 {
   public:
@@ -66,12 +76,26 @@ class System
     Cycle cycle() const { return cycle_; }
     /** Cycles elapsed since the last resetStats(). */
     Cycle measuredCycles() const { return cycle_ - cycleBase_; }
-    /** Cycle at which thread @p t hit its target in the last run(). */
-    Cycle finishCycle(std::size_t t) const { return finishCycle_[t]; }
-    /** Measured cycles for thread @p t in the last run(). */
+    /** Cycle at which thread @p t hit its target in the last run().
+     *  Meaningless before the first run() completes. */
+    Cycle
+    finishCycle(std::size_t t) const
+    {
+        TACSIM_DCHECK(ranOnce_ &&
+                      "finishCycle() before any run() completed");
+        TACSIM_DCHECK(t < finishCycle_.size() &&
+                      "finishCycle() thread index out of range");
+        return finishCycle_[t];
+    }
+    /** Measured cycles for thread @p t in the last run().
+     *  Meaningless before the first run() completes. */
     Cycle
     threadCycles(std::size_t t) const
     {
+        TACSIM_DCHECK(ranOnce_ &&
+                      "threadCycles() before any run() completed");
+        TACSIM_DCHECK(t < finishCycle_.size() &&
+                      "threadCycles() thread index out of range");
         return finishCycle_[t] - runStartCycle_;
     }
 
@@ -82,7 +106,20 @@ class System
 
     Cache &l1d(std::size_t coreIdx = 0) { return *l1d_[coreIdx]; }
     Cache &l2(std::size_t coreIdx = 0) { return *l2_[coreIdx]; }
-    Cache &llc() { return *llc_; }
+    /** LLC slice @p slice (the whole LLC when unsliced). */
+    Cache &llc(std::size_t slice = 0) { return *llc_[slice]; }
+    std::size_t llcSlices() const { return llc_.size(); }
+    /** Home slice of @p paddr under the address interleave. */
+    Cache &
+    llcSliceFor(Addr paddr)
+    {
+        return *llc_[static_cast<std::uint32_t>(paddr >> kBlockBits) &
+                     llcSliceMask_];
+    }
+    /** Counters summed across every LLC slice. */
+    CacheStats llcStats() const;
+    /** Slice interconnect; null when the LLC is monolithic. */
+    SliceRouter *llcRouter() { return llcRouter_.get(); }
     Dram &dram() { return *dram_; }
     Tlb &dtlb(std::size_t coreIdx = 0) { return *dtlb_[coreIdx]; }
     Tlb &stlb(std::size_t coreIdx = 0) { return *stlb_[coreIdx]; }
@@ -115,7 +152,8 @@ class System
 
   private:
     std::unique_ptr<ReplPolicy> buildLlcPolicy(std::uint32_t sets,
-                                               std::uint32_t ways) const;
+                                               std::uint32_t ways,
+                                               std::uint64_t seed) const;
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -130,7 +168,9 @@ class System
     std::unique_ptr<PageTable> hostPageTable_; ///< non-null when nested
 
     std::unique_ptr<Dram> dram_;
-    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> llc_; ///< one entry per slice
+    std::unique_ptr<SliceRouter> llcRouter_;  ///< non-null when sliced
+    std::uint32_t llcSliceMask_ = 0;
     std::vector<std::unique_ptr<Cache>> l2_;
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Tlb>> dtlb_;
@@ -139,6 +179,7 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
 
     std::vector<Cycle> finishCycle_;
+    bool ranOnce_ = false; ///< finish cycles valid after first run()
     verify::Checker *checker_ = nullptr;
 
     obs::Registry registry_;

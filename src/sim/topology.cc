@@ -1,0 +1,302 @@
+#include "sim/topology.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace tacsim {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    throw std::invalid_argument("topology: " + msg);
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Strict unsigned decimal parse; the whole token must be digits. */
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 19)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = kKiB * 1024;
+constexpr std::uint64_t kGiB = kMiB * 1024;
+
+/** "16MB" / "512KB" / "1GB" / plain bytes -> byte count. */
+bool
+parseSize(const std::string &s, std::uint64_t &out)
+{
+    std::uint64_t mult = 1;
+    std::string digits = s;
+    if (s.size() > 2) {
+        const std::string suffix = s.substr(s.size() - 2);
+        if (suffix == "KB")
+            mult = kKiB;
+        else if (suffix == "MB")
+            mult = kMiB;
+        else if (suffix == "GB")
+            mult = kGiB;
+        if (mult != 1)
+            digits = s.substr(0, s.size() - 2);
+    }
+    std::uint64_t v = 0;
+    if (!parseU64(digits, v) || v == 0)
+        return false;
+    out = v * mult;
+    return true;
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    if (bytes % kGiB == 0)
+        return std::to_string(bytes / kGiB) + "GB";
+    if (bytes % kMiB == 0)
+        return std::to_string(bytes / kMiB) + "MB";
+    if (bytes % kKiB == 0)
+        return std::to_string(bytes / kKiB) + "KB";
+    return std::to_string(bytes);
+}
+
+/** `<size>/<w>w` or `auto/<w>w` or bare `<size>` / `auto`. */
+void
+parseLlcValue(const std::string &value, TopologySpec &spec)
+{
+    std::string sizePart = value;
+    const std::size_t slash = value.find('/');
+    if (slash != std::string::npos) {
+        sizePart = value.substr(0, slash);
+        const std::string waysPart = value.substr(slash + 1);
+        std::uint64_t ways = 0;
+        if (waysPart.empty() || waysPart.back() != 'w' ||
+            !parseU64(waysPart.substr(0, waysPart.size() - 1), ways))
+            fail("bad ways '" + waysPart + "' for 'llc'");
+        spec.llcWays = static_cast<std::uint32_t>(ways);
+    }
+    if (sizePart == "auto") {
+        spec.llcBytes = 0;
+        return;
+    }
+    if (!parseSize(sizePart, spec.llcBytes))
+        fail("bad size '" + sizePart + "' for 'llc'");
+}
+
+/** `<tokens>` or `<tokens>/<window>c`. */
+void
+parseBwValue(const std::string &value, TopologySpec &spec)
+{
+    std::string tokenPart = value;
+    const std::size_t slash = value.find('/');
+    if (slash != std::string::npos) {
+        tokenPart = value.substr(0, slash);
+        const std::string winPart = value.substr(slash + 1);
+        std::uint64_t window = 0;
+        if (winPart.empty() || winPart.back() != 'c' ||
+            !parseU64(winPart.substr(0, winPart.size() - 1), window))
+            fail("bad window '" + winPart + "' for 'bw'");
+        spec.bwWindow = window;
+    }
+    std::uint64_t tokens = 0;
+    if (!parseU64(tokenPart, tokens))
+        fail("bad value '" + tokenPart + "' for 'bw'");
+    spec.bwTokens = static_cast<std::uint32_t>(tokens);
+}
+
+std::uint64_t
+parseCount(const std::string &value, const std::string &key)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(value, v))
+        fail("bad value '" + value + "' for '" + key + "'");
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+resolvedLlcBytes(const TopologySpec &spec, std::uint64_t perCoreBytes)
+{
+    return spec.llcBytes ? spec.llcBytes : perCoreBytes * spec.cores;
+}
+
+std::uint64_t
+resolvedLlcSets(const TopologySpec &spec, std::uint64_t perCoreBytes)
+{
+    const std::uint64_t rowBytes =
+        static_cast<std::uint64_t>(spec.llcWays) * kBlockSize;
+    return rowBytes ? resolvedLlcBytes(spec, perCoreBytes) / rowBytes : 0;
+}
+
+void
+validateTopology(const TopologySpec &spec, std::uint64_t perCoreBytes)
+{
+    if (spec.cores == 0)
+        fail("cores must be nonzero");
+    if (spec.cores > 1024)
+        fail("cores must be <= 1024");
+    if (spec.smt == 0 || spec.smt > 8)
+        fail("smt must be in 1..8");
+    if (!isPow2(spec.llcWays))
+        fail("llc ways must be a nonzero power of two");
+    if (!isPow2(spec.slices))
+        fail("slices must be a nonzero power of two");
+    if (spec.bwWindow == 0)
+        fail("bw window must be nonzero");
+
+    const std::uint64_t bytes = resolvedLlcBytes(spec, perCoreBytes);
+    const std::uint64_t rowBytes =
+        static_cast<std::uint64_t>(spec.llcWays) * kBlockSize;
+    const std::uint64_t sets = bytes / rowBytes;
+    if (bytes % rowBytes != 0 || !isPow2(sets))
+        fail("llc size " + formatSize(bytes) + " with " +
+             std::to_string(spec.llcWays) +
+             " ways does not yield a power-of-two set count");
+    if (spec.slices > sets)
+        fail("slices (" + std::to_string(spec.slices) +
+             ") exceed llc sets (" + std::to_string(sets) + ")");
+}
+
+TopologySpec
+parseTopologySpec(const std::string &text)
+{
+    if (text.empty())
+        fail("empty spec");
+
+    TopologySpec spec;
+    std::vector<std::string> seen;
+
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        const std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0)
+            fail("expected key=value, got '" + item + "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+
+        for (const std::string &k : seen)
+            if (k == key)
+                fail("duplicate key '" + key + "'");
+        seen.push_back(key);
+
+        if (key == "cores")
+            spec.cores = static_cast<unsigned>(parseCount(value, key));
+        else if (key == "smt")
+            spec.smt = static_cast<unsigned>(parseCount(value, key));
+        else if (key == "llc")
+            parseLlcValue(value, spec);
+        else if (key == "slices")
+            spec.slices = static_cast<unsigned>(parseCount(value, key));
+        else if (key == "slice_lat")
+            spec.sliceHopLatency = parseCount(value, key);
+        else if (key == "chan")
+            spec.channels = static_cast<unsigned>(parseCount(value, key));
+        else if (key == "mshr_quota")
+            spec.mshrQuota =
+                static_cast<std::uint32_t>(parseCount(value, key));
+        else if (key == "bw")
+            parseBwValue(value, spec);
+        else
+            fail("unknown key '" + key + "'");
+    }
+
+    validateTopology(spec);
+    return spec;
+}
+
+std::string
+dumpTopologySpec(const TopologySpec &spec)
+{
+    std::string out = "cores=" + std::to_string(spec.cores);
+    if (spec.smt != 1)
+        out += ",smt=" + std::to_string(spec.smt);
+    if (spec.llcBytes != 0 || spec.llcWays != 16) {
+        out += ",llc=";
+        out += spec.llcBytes ? formatSize(spec.llcBytes)
+                             : std::string("auto");
+        out += "/" + std::to_string(spec.llcWays) + "w";
+    }
+    if (spec.slices != 1)
+        out += ",slices=" + std::to_string(spec.slices);
+    if (spec.sliceHopLatency != 0)
+        out += ",slice_lat=" + std::to_string(spec.sliceHopLatency);
+    if (spec.channels != 0)
+        out += ",chan=" + std::to_string(spec.channels);
+    if (spec.mshrQuota != 0)
+        out += ",mshr_quota=" + std::to_string(spec.mshrQuota);
+    if (spec.bwTokens != 0) {
+        out += ",bw=" + std::to_string(spec.bwTokens);
+        if (spec.bwWindow != 64)
+            out += "/" + std::to_string(spec.bwWindow) + "c";
+    }
+    return out;
+}
+
+TopologySpec
+topologyOf(const SystemConfig &cfg)
+{
+    TopologySpec spec;
+    spec.cores = cfg.numCores;
+    spec.smt = cfg.threadsPerCore;
+    spec.llcBytes = cfg.llcTotalBytes;
+    spec.llcWays = cfg.llcPerCore.ways;
+    spec.slices = cfg.llcSlices;
+    spec.sliceHopLatency = cfg.llcSliceHopLatency;
+    // One channel is both the config default and the "derive from core
+    // count" marker (System sizes channels up for >4 cores), so it maps
+    // back to the spec's auto value.
+    spec.channels = cfg.dram.channels == 1 ? 0 : cfg.dram.channels;
+    spec.mshrQuota = cfg.llcMshrQuotaPerCore;
+    spec.bwTokens = cfg.llcBwTokensPerCore;
+    spec.bwWindow = cfg.llcBwWindow;
+    return spec;
+}
+
+void
+applyTopology(const TopologySpec &spec, SystemConfig &cfg)
+{
+    validateTopology(spec, cfg.llcPerCore.sizeBytes);
+    cfg.numCores = spec.cores;
+    cfg.threadsPerCore = spec.smt;
+    cfg.llcTotalBytes = spec.llcBytes;
+    cfg.llcPerCore.ways = spec.llcWays;
+    cfg.llcSlices = spec.slices;
+    cfg.llcSliceHopLatency = spec.sliceHopLatency;
+    if (spec.channels != 0)
+        cfg.dram.channels = spec.channels;
+    cfg.llcMshrQuotaPerCore = spec.mshrQuota;
+    cfg.llcBwTokensPerCore = spec.bwTokens;
+    cfg.llcBwWindow = spec.bwWindow;
+}
+
+SystemConfig
+configFromTopology(const std::string &text, SystemConfig base)
+{
+    applyTopology(parseTopologySpec(text), base);
+    return base;
+}
+
+} // namespace tacsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Declarative system topology: one compact spec string describes how
+ * many cores/SMT threads to build, the shared-LLC geometry and its
+ * slicing, DRAM channel count, and the per-core arbitration knobs at
+ * the LLC. System composition consumes the resolved spec instead of
+ * hand-wired constructor paths, so a 64-core mix is one string away:
+ *
+ *     cores=32,smt=2,llc=16MB/32w,slices=8,chan=4
+ *
+ * Grammar (comma-separated `key=value`, no spaces, every key at most
+ * once):
+ *
+ *     cores=<n>          hardware cores, 1..1024
+ *     smt=<n>            threads per core, 1..8
+ *     llc=<size>/<w>w    total LLC capacity and associativity
+ *                        (e.g. 16MB/32w; size accepts KB/MB/GB or
+ *                        plain bytes; "auto" = 2MB x cores)
+ *     slices=<n>         LLC slice count (power of two, <= sets)
+ *     slice_lat=<c>      extra cycles per ring hop to a remote slice
+ *     chan=<n>           DRAM channels (0/omitted = 1 per 4 cores)
+ *     mshr_quota=<n>     max in-flight LLC MSHRs per core (0 = off)
+ *     bw=<t>[/<w>c]      LLC demand-lookup tokens per core per window
+ *                        of <w> cycles (default window 64; 0 = off)
+ *
+ * parse/dump round-trip: dumpTopologySpec() emits the canonical form
+ * (defaults omitted, fixed key order), and parsing that string yields
+ * an identical spec. Malformed specs throw std::invalid_argument with
+ * a stable "topology: ..." message.
+ */
+
+#ifndef TACSIM_SIM_TOPOLOGY_HH
+#define TACSIM_SIM_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace tacsim {
+
+/** Declarative shape of the simulated machine (see file comment). */
+struct TopologySpec
+{
+    unsigned cores = 1;
+    unsigned smt = 1; ///< hardware threads per core
+
+    /** Total LLC bytes; 0 derives the paper's 2MB-per-core sizing. */
+    std::uint64_t llcBytes = 0;
+    std::uint32_t llcWays = 16;
+
+    unsigned slices = 1;        ///< address-interleaved LLC slices
+    Cycle sliceHopLatency = 0;  ///< per-ring-hop cycles to a remote slice
+
+    /** DRAM channels; 0 derives one channel per four cores (Table I). */
+    unsigned channels = 0;
+
+    /** Per-core cap on live LLC MSHRs (per slice); 0 disables. */
+    std::uint32_t mshrQuota = 0;
+    /** Per-core LLC demand lookups per bwWindow (per slice); 0 = off. */
+    std::uint32_t bwTokens = 0;
+    Cycle bwWindow = 64;
+
+    unsigned threads() const { return cores * smt; }
+
+    bool
+    operator==(const TopologySpec &o) const
+    {
+        return cores == o.cores && smt == o.smt &&
+            llcBytes == o.llcBytes && llcWays == o.llcWays &&
+            slices == o.slices && sliceHopLatency == o.sliceHopLatency &&
+            channels == o.channels && mshrQuota == o.mshrQuota &&
+            bwTokens == o.bwTokens && bwWindow == o.bwWindow;
+    }
+    bool operator!=(const TopologySpec &o) const { return !(*this == o); }
+};
+
+/** LLC capacity the spec resolves to; @p perCoreBytes fills the "auto"
+ *  (llcBytes == 0) case. */
+std::uint64_t resolvedLlcBytes(const TopologySpec &spec,
+                               std::uint64_t perCoreBytes);
+
+/** Total LLC sets the spec resolves to (before slicing). */
+std::uint64_t resolvedLlcSets(const TopologySpec &spec,
+                              std::uint64_t perCoreBytes);
+
+/**
+ * Validate @p spec; throws std::invalid_argument with a stable
+ * "topology: ..." message on the first violated constraint. The LLC
+ * set-count constraints (power-of-two sets, slices <= sets) need a
+ * concrete capacity, so the auto size is resolved against
+ * @p perCoreBytes.
+ */
+void validateTopology(const TopologySpec &spec,
+                      std::uint64_t perCoreBytes = 2u << 20);
+
+/** Parse and validate a spec string (grammar in the file comment). */
+TopologySpec parseTopologySpec(const std::string &text);
+
+/** Canonical string form: defaults omitted, fixed key order; parsing
+ *  the result reproduces @p spec exactly. */
+std::string dumpTopologySpec(const TopologySpec &spec);
+
+/** The topology a SystemConfig describes (the inverse of
+ *  applyTopology; composition-unrelated fields are ignored). */
+TopologySpec topologyOf(const SystemConfig &cfg);
+
+/** Overwrite @p cfg's composition fields from @p spec (validating it
+ *  against the config's per-core LLC sizing first). */
+void applyTopology(const TopologySpec &spec, SystemConfig &cfg);
+
+/** Convenience: @p base with the parsed @p text applied. */
+SystemConfig configFromTopology(const std::string &text,
+                                SystemConfig base = {});
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_TOPOLOGY_HH

@@ -62,7 +62,8 @@ Checker::checkAll()
         checkTlbAgainstPageTable(sys_.dtlb(c));
         checkTlbAgainstPageTable(sys_.stlb(c));
     }
-    sys_.llc().checkInvariants();
+    for (std::size_t s = 0; s < sys_.llcSlices(); ++s)
+        sys_.llc(s).checkInvariants();
     sys_.dram().checkInvariants();
 }
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * TopologySpec parser/dumper unit tests: canonical round-trips, exact
+ * rejection messages for every malformed-spec class, the
+ * SystemConfig<->TopologySpec mapping, and a seeded property stress
+ * loop asserting dump->parse is the identity on random valid specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hh"
+#include "sim/topology.hh"
+
+namespace tacsim {
+namespace {
+
+/** Parse @p text expecting failure; returns the exception message. */
+std::string
+parseError(const std::string &text)
+{
+    try {
+        parseTopologySpec(text);
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "wrong exception type for '" << text
+                      << "': " << e.what();
+        return "";
+    }
+    ADD_FAILURE() << "spec '" << text << "' unexpectedly parsed";
+    return "";
+}
+
+TEST(TopologySpecTest, ParsesTheHeadlineExample)
+{
+    const TopologySpec s =
+        parseTopologySpec("cores=32,smt=2,llc=16MB/32w,slices=8,chan=4");
+    EXPECT_EQ(s.cores, 32u);
+    EXPECT_EQ(s.smt, 2u);
+    EXPECT_EQ(s.threads(), 64u);
+    EXPECT_EQ(s.llcBytes, 16u * 1024 * 1024);
+    EXPECT_EQ(s.llcWays, 32u);
+    EXPECT_EQ(s.slices, 8u);
+    EXPECT_EQ(s.channels, 4u);
+    // Unmentioned knobs keep their defaults.
+    EXPECT_EQ(s.sliceHopLatency, 0u);
+    EXPECT_EQ(s.mshrQuota, 0u);
+    EXPECT_EQ(s.bwTokens, 0u);
+    EXPECT_EQ(s.bwWindow, 64u);
+}
+
+TEST(TopologySpecTest, DumpIsCanonicalAndOmitsDefaults)
+{
+    EXPECT_EQ(dumpTopologySpec(TopologySpec{}), "cores=1");
+
+    const std::string text =
+        "cores=32,smt=2,llc=16MB/32w,slices=8,chan=4";
+    EXPECT_EQ(dumpTopologySpec(parseTopologySpec(text)), text);
+
+    // Keys are re-emitted in canonical order regardless of input order.
+    EXPECT_EQ(dumpTopologySpec(
+                  parseTopologySpec("slices=4,cores=16,smt=2")),
+              "cores=16,smt=2,slices=4");
+}
+
+TEST(TopologySpecTest, RoundTripsEveryKey)
+{
+    const std::string text =
+        "cores=64,smt=4,llc=128MB/32w,slices=16,slice_lat=3,chan=8,"
+        "mshr_quota=24,bw=16/128c";
+    const TopologySpec s = parseTopologySpec(text);
+    EXPECT_EQ(s.sliceHopLatency, 3u);
+    EXPECT_EQ(s.mshrQuota, 24u);
+    EXPECT_EQ(s.bwTokens, 16u);
+    EXPECT_EQ(s.bwWindow, 128u);
+    EXPECT_EQ(dumpTopologySpec(s), text);
+    EXPECT_EQ(parseTopologySpec(dumpTopologySpec(s)), s);
+}
+
+TEST(TopologySpecTest, LlcSizesAcceptAllUnitsAndAuto)
+{
+    EXPECT_EQ(parseTopologySpec("cores=1,llc=512KB/8w").llcBytes,
+              512u * 1024);
+    EXPECT_EQ(parseTopologySpec("cores=1,llc=1GB/16w").llcBytes,
+              std::uint64_t{1} << 30);
+    // Plain bytes work and dump as the largest exact unit.
+    EXPECT_EQ(dumpTopologySpec(parseTopologySpec("cores=1,llc=65536/4w")),
+              "cores=1,llc=64KB/4w");
+
+    const TopologySpec a = parseTopologySpec("cores=4,llc=auto/32w");
+    EXPECT_EQ(a.llcBytes, 0u);
+    EXPECT_EQ(a.llcWays, 32u);
+    EXPECT_EQ(resolvedLlcBytes(a, 2u << 20), 8u * 1024 * 1024);
+    EXPECT_EQ(dumpTopologySpec(a), "cores=4,llc=auto/32w");
+}
+
+TEST(TopologySpecTest, BwWindowDefaultIsOmitted)
+{
+    EXPECT_EQ(dumpTopologySpec(parseTopologySpec("cores=2,bw=32")),
+              "cores=2,bw=32");
+    EXPECT_EQ(dumpTopologySpec(parseTopologySpec("cores=2,bw=32/64c")),
+              "cores=2,bw=32");
+}
+
+TEST(TopologySpecTest, RejectsWithExactMessages)
+{
+    EXPECT_EQ(parseError(""), "topology: empty spec");
+    EXPECT_EQ(parseError("cores=0"), "topology: cores must be nonzero");
+    EXPECT_EQ(parseError("cores=2000"),
+              "topology: cores must be <= 1024");
+    EXPECT_EQ(parseError("cores=4,smt=9"),
+              "topology: smt must be in 1..8");
+    EXPECT_EQ(parseError("cores=4,llc=8MB/12w"),
+              "topology: llc ways must be a nonzero power of two");
+    EXPECT_EQ(parseError("cores=4,slices=3"),
+              "topology: slices must be a nonzero power of two");
+    EXPECT_EQ(parseError("cores=4,bw=8/0c"),
+              "topology: bw window must be nonzero");
+    EXPECT_EQ(parseError("cores=4,llc=3MB/16w"),
+              "topology: llc size 3MB with 16 ways does not yield a "
+              "power-of-two set count");
+    EXPECT_EQ(parseError("cores=1,llc=64KB/16w,slices=128"),
+              "topology: slices (128) exceed llc sets (64)");
+}
+
+TEST(TopologySpecTest, RejectsMalformedSyntax)
+{
+    EXPECT_EQ(parseError("cores"),
+              "topology: expected key=value, got 'cores'");
+    EXPECT_EQ(parseError("cores=4,,slices=2"),
+              "topology: expected key=value, got ''");
+    EXPECT_EQ(parseError("cores=4,cores=8"),
+              "topology: duplicate key 'cores'");
+    EXPECT_EQ(parseError("pizza=1"), "topology: unknown key 'pizza'");
+    EXPECT_EQ(parseError("cores=x"),
+              "topology: bad value 'x' for 'cores'");
+    EXPECT_EQ(parseError("cores=4,llc=bogus/16w"),
+              "topology: bad size 'bogus' for 'llc'");
+    EXPECT_EQ(parseError("cores=4,llc=8MB/16"),
+              "topology: bad ways '16' for 'llc'");
+    EXPECT_EQ(parseError("cores=4,bw=8/64"),
+              "topology: bad window '64' for 'bw'");
+    EXPECT_EQ(parseError("cores=4,bw=x"),
+              "topology: bad value 'x' for 'bw'");
+}
+
+TEST(TopologySpecTest, ConfigMappingIsAnInverse)
+{
+    // The default config maps to the default spec (channels=1 is the
+    // auto marker, so it round-trips as 0).
+    EXPECT_EQ(dumpTopologySpec(topologyOf(SystemConfig{})), "cores=1");
+
+    const std::string text =
+        "cores=16,smt=2,llc=64MB/32w,slices=4,slice_lat=2,chan=4,"
+        "mshr_quota=64,bw=32/128c";
+    const SystemConfig cfg = configFromTopology(text);
+    EXPECT_EQ(cfg.numCores, 16u);
+    EXPECT_EQ(cfg.threadsPerCore, 2u);
+    EXPECT_EQ(cfg.llcTotalBytes, 64u * 1024 * 1024);
+    EXPECT_EQ(cfg.llcPerCore.ways, 32u);
+    EXPECT_EQ(cfg.llcSlices, 4u);
+    EXPECT_EQ(cfg.llcSliceHopLatency, 2u);
+    EXPECT_EQ(cfg.dram.channels, 4u);
+    EXPECT_EQ(cfg.llcMshrQuotaPerCore, 64u);
+    EXPECT_EQ(cfg.llcBwTokensPerCore, 32u);
+    EXPECT_EQ(cfg.llcBwWindow, 128u);
+    EXPECT_EQ(dumpTopologySpec(topologyOf(cfg)), text);
+}
+
+TEST(TopologySpecTest, ApplyValidatesAgainstTheConfigsLlcSizing)
+{
+    // 3 slices is structurally invalid no matter the capacity.
+    SystemConfig cfg;
+    TopologySpec bad;
+    bad.slices = 3;
+    EXPECT_THROW(applyTopology(bad, cfg), std::invalid_argument);
+    // The config is untouched on failure paths before the writes.
+    EXPECT_EQ(cfg.llcSlices, 1u);
+}
+
+TEST(TopologySpecTest, PropertyStressRoundTrip)
+{
+    // dump->parse must be the identity on any valid spec. The generator
+    // is seeded, so a failure reproduces exactly.
+    Rng rng(0x70b0106fu);
+    for (int i = 0; i < 500; ++i) {
+        TopologySpec s;
+        s.cores = 1u << rng.range(8);
+        s.smt = 1 + static_cast<unsigned>(rng.range(8));
+        s.llcWays = 1u << rng.range(6);
+        if (rng.range(2))
+            s.llcBytes =
+                (std::uint64_t{s.llcWays} * kBlockSize) << rng.range(12);
+        const std::uint64_t sets = resolvedLlcSets(s, 2u << 20);
+        unsigned maxSliceLog = 0;
+        while (maxSliceLog < 6 &&
+               (std::uint64_t{1} << (maxSliceLog + 1)) <= sets)
+            ++maxSliceLog;
+        s.slices = 1u << rng.range(maxSliceLog + 1);
+        s.sliceHopLatency = rng.range(8);
+        s.channels = static_cast<unsigned>(rng.range(9));
+        s.mshrQuota = static_cast<std::uint32_t>(rng.range(256));
+        s.bwTokens = static_cast<std::uint32_t>(rng.range(64));
+        // The window is only dumped alongside nonzero tokens.
+        s.bwWindow = s.bwTokens ? 1 + rng.range(256) : 64;
+
+        ASSERT_NO_THROW(validateTopology(s)) << dumpTopologySpec(s);
+        const std::string text = dumpTopologySpec(s);
+        TopologySpec back;
+        ASSERT_NO_THROW(back = parseTopologySpec(text)) << text;
+        ASSERT_TRUE(back == s) << "round-trip drift through '" << text
+                               << "' (iteration " << i << ")";
+    }
+}
+
+} // namespace
+} // namespace tacsim
