@@ -10,9 +10,10 @@ Checks, in order:
   * the file parses as JSON and carries schema "tacsim-sweep-v1";
   * the top level has the expected fields (title, jobs, points, rows,
     runs) with the expected types;
-  * every run entry has the per-run metadata fields (key, benchmark,
-    topology, instructions, warmup, seed, ok, wall_ms, cycles, ipc,
-    error) and keys are unique;
+  * every run entry has the per-run metadata fields (key, point_key,
+    benchmark, topology, instructions, warmup, seed, ok, cached,
+    wall_ms, cycles, ipc, error), keys are unique, and point_key is 64
+    lowercase hex chars (or "" for custom jobs);
   * every row entry has series/label/measured/paper/unit;
   * --min-points N: at least N run entries (a combinatorial sweep that
     silently registered nothing still writes a well-formed report —
@@ -39,12 +40,14 @@ EXIT_MALFORMED = 4
 
 RUN_FIELDS = {
     "key": str,
+    "point_key": str,
     "benchmark": str,
     "topology": str,
     "instructions": int,
     "warmup": int,
     "seed": int,
     "ok": bool,
+    "cached": bool,
     "wall_ms": (int, float),
     "cycles": int,
     "ipc": (int, float, type(None)),
@@ -129,6 +132,15 @@ def main():
         if not run["ok"] and not run["error"]:
             malformed(args.report,
                       f"run {run['key']!r} failed without an error")
+        # point_key is the canonical content hash: 64 lowercase hex
+        # chars, or "" for custom jobs whose behavior the runner cannot
+        # hash.
+        pk = run["point_key"]
+        if pk and (len(pk) != 64
+                   or any(c not in "0123456789abcdef" for c in pk)):
+            malformed(args.report,
+                      f"run {run['key']!r} has a malformed point_key "
+                      f"{pk!r} (want 64 lowercase hex chars or \"\")")
 
     for i, row in enumerate(report["rows"]):
         check_fields(args.report, "rows", i, row, ROW_FIELDS)

@@ -271,6 +271,16 @@ class Cache : public MemDevice, public PrefetchIssuer
 
     static constexpr std::uint32_t kNoOwner = 0xffffffffu;
 
+    /**
+     * Checkpoint the array contents, replacement-policy training state
+     * and arbitration counters (tacsim-ckpt-v1). Only legal when no miss
+     * is outstanding (post-quiesce): MSHRs and the pending queue are
+     * never serialized. Attached prefetchers and recall profilers are
+     * unsupported and make save/load throw.
+     */
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
+
   private:
     struct MshrEntry
     {

@@ -32,6 +32,26 @@ class LruPolicy : public ReplPolicy
                const AccessInfo &ai) override;
     std::string name() const override { return "LRU"; }
 
+    void
+    saveState(SerialWriter &w) const override
+    {
+        w.putU64(clock_);
+        w.putU64(stamp_.size());
+        for (std::uint64_t s : stamp_)
+            w.putU64(s);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        clock_ = r.getU64();
+        if (r.getU64() != stamp_.size())
+            throw std::runtime_error(
+                "checkpoint: LRU stamp count mismatch");
+        for (auto &s : stamp_)
+            s = r.getU64();
+    }
+
   private:
     /** stamp_[set*ways+way]: larger = more recently used. */
     std::vector<std::uint64_t> stamp_;
@@ -57,6 +77,24 @@ class RandomPolicy : public ReplPolicy
     {}
     void onHit(std::uint32_t, std::uint32_t, const AccessInfo &) override {}
     std::string name() const override { return "Random"; }
+
+    void
+    saveState(SerialWriter &w) const override
+    {
+        std::uint64_t s[Rng::kStateWords];
+        rng_.state(s);
+        for (std::uint64_t word : s)
+            w.putU64(word);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        std::uint64_t s[Rng::kStateWords];
+        for (auto &word : s)
+            word = r.getU64();
+        rng_.setState(s);
+    }
 
   private:
     Rng rng_;

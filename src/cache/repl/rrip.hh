@@ -42,6 +42,28 @@ class RripBase : public ReplPolicy
         return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
     }
 
+    void
+    saveState(SerialWriter &w) const override
+    {
+        w.putU64(rrpv_.size());
+        for (std::uint8_t v : rrpv_)
+            w.putU8(v);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        if (r.getU64() != rrpv_.size())
+            throw std::runtime_error(
+                "checkpoint: RRPV array size mismatch");
+        for (auto &v : rrpv_) {
+            v = r.getU8();
+            if (v > kMaxRrpv)
+                throw std::runtime_error(
+                    "checkpoint: RRPV value out of range");
+        }
+    }
+
   protected:
     /**
      * Apply the translation/replay insertion overrides; returns the RRPV
@@ -83,6 +105,26 @@ class BrripPolicy : public RripBase
                 const AccessInfo &ai) override;
     std::string name() const override { return "BRRIP"; }
 
+    void
+    saveState(SerialWriter &w) const override
+    {
+        RripBase::saveState(w);
+        std::uint64_t s[Rng::kStateWords];
+        rng_.state(s);
+        for (std::uint64_t word : s)
+            w.putU64(word);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        RripBase::loadState(r);
+        std::uint64_t s[Rng::kStateWords];
+        for (auto &word : s)
+            word = r.getU64();
+        rng_.setState(s);
+    }
+
   private:
     Rng rng_;
 };
@@ -112,6 +154,33 @@ class DrripPolicy : public RripBase
     int psel() const { return psel_; }
     bool isSrripLeader(std::uint32_t set) const;
     bool isBrripLeader(std::uint32_t set) const;
+
+    void
+    saveState(SerialWriter &w) const override
+    {
+        RripBase::saveState(w);
+        std::uint64_t s[Rng::kStateWords];
+        rng_.state(s);
+        for (std::uint64_t word : s)
+            w.putU64(word);
+        w.putI64(psel_);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        RripBase::loadState(r);
+        std::uint64_t s[Rng::kStateWords];
+        for (auto &word : s)
+            word = r.getU64();
+        rng_.setState(s);
+        const std::int64_t psel = r.getI64();
+        if (psel < 0 || psel > kPselMax)
+            throw std::runtime_error("checkpoint: PSEL out of range");
+        psel_ = static_cast<int>(psel);
+        // leaderStride_ is derived from the geometry in the constructor
+        // and never mutates, so it is not part of the payload.
+    }
 
   private:
     Rng rng_;

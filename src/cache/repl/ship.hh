@@ -50,6 +50,41 @@ class ShipPolicy : public RripBase
 
     std::uint8_t shct(std::uint32_t sig) const { return shct_[sig]; }
 
+    void
+    saveState(SerialWriter &w) const override
+    {
+        RripBase::saveState(w);
+        w.putU64(shct_.size());
+        for (std::uint8_t c : shct_)
+            w.putU8(c);
+        w.putU64(blockSig_.size());
+        for (std::uint32_t s : blockSig_)
+            w.putU32(s);
+        for (std::uint8_t o : blockOutcome_)
+            w.putU8(o);
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        RripBase::loadState(r);
+        if (r.getU64() != shct_.size())
+            throw std::runtime_error("checkpoint: SHCT size mismatch");
+        for (auto &c : shct_) {
+            c = r.getU8();
+            if (c > kCounterMax)
+                throw std::runtime_error(
+                    "checkpoint: SHCT counter out of range");
+        }
+        if (r.getU64() != blockSig_.size())
+            throw std::runtime_error(
+                "checkpoint: SHiP block-state size mismatch");
+        for (auto &s : blockSig_)
+            s = r.getU32();
+        for (auto &o : blockOutcome_)
+            o = r.getU8();
+    }
+
   private:
     std::uint32_t sigOf(const AccessInfo &ai) const;
 

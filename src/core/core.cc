@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/serialize.hh"
 #include "mem/request_pool.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/registry.hh"
@@ -105,9 +106,38 @@ Core::tick()
     if (count_ && !head().complete)
         chargeHeadStall(1);
 
-    // 2. Dispatch new instructions.
-    for (unsigned d = 0; d < params_.issueWidth && !robFull(); ++d)
-        dispatchOne();
+    // 2. Dispatch new instructions (suspended while draining so the
+    //    ROB empties for a quiesce point).
+    if (!draining_)
+        for (unsigned d = 0; d < params_.issueWidth && !robFull(); ++d)
+            dispatchOne();
+}
+
+void
+Core::saveState(SerialWriter &w) const
+{
+    TACSIM_CHECK(count_ == 0 &&
+                 "core checkpoint requires an empty (drained) ROB");
+    w.putU64(headSeq_);
+    w.putU64(nextSeq_);
+    w.putI64(lastLoadSeq_);
+}
+
+void
+Core::loadState(SerialReader &r)
+{
+    TACSIM_CHECK(count_ == 0 &&
+                 "core restore requires an empty ROB");
+    headSeq_ = r.getU64();
+    nextSeq_ = r.getU64();
+    lastLoadSeq_ = r.getI64();
+    // Stale ring contents are unreachable after a drain (the only
+    // cross-retire reference, lastLoadSeq_, is guarded by
+    // `>= headSeq_`), but reset them anyway so a restored core is
+    // bitwise-independent of pre-checkpoint history.
+    for (auto &e : rob_)
+        e = RobEntry{};
+    waitingOnProducer_.clear();
 }
 
 void

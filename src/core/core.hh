@@ -107,6 +107,27 @@ class Core
      *  is emitted as a span on @p track. Pass nullptr to detach. */
     void setTracer(obs::ChromeTracer *tracer, std::uint32_t track);
 
+    /**
+     * Drain mode (System::quiesce): suspend dispatch so in-flight ROB
+     * entries retire and the core winds down to an empty ROB without
+     * consuming further workload records. Retire/issue/wakeup proceed
+     * normally during drain.
+     */
+    void beginDrain() { draining_ = true; }
+    void endDrain() { draining_ = false; }
+    bool robEmpty() const { return count_ == 0; }
+
+    /**
+     * Checkpoint the architectural cursor (tacsim-ckpt-v1). Only legal
+     * when the ROB is empty (post-quiesce): with all entries retired,
+     * the sequence cursors fully determine future behaviour — stale
+     * rob_ ring contents are unreachable because the only cross-retire
+     * reference, lastLoadSeq_, is guarded by `>= headSeq_` at every
+     * use.
+     */
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
+
   private:
     struct RobEntry
     {
@@ -161,6 +182,7 @@ class Core
 
     std::int64_t lastLoadSeq_ = -1;
     std::vector<std::uint64_t> waitingOnProducer_;
+    bool draining_ = false; ///< dispatch suspended (System::quiesce)
 
     obs::ChromeTracer *tracer_ = nullptr; ///< null = tracing disabled
     std::uint32_t track_ = 0;

@@ -12,6 +12,7 @@
 #define TACSIM_CORE_TRACE_HH
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "common/types.hh"
@@ -44,6 +45,9 @@ struct TraceRecord
     bool isMem() const { return kind != Kind::NonMem; }
 };
 
+class SerialWriter;
+class SerialReader;
+
 /** An endless instruction stream. */
 class Workload
 {
@@ -58,6 +62,25 @@ class Workload
 
     /** Virtual footprint in bytes (for reports). */
     virtual Addr footprint() const = 0;
+
+    /**
+     * Checkpoint seams (tacsim-ckpt-v1). A workload's generator state
+     * must round-trip exactly: after loadState the stream it produces is
+     * identical to the one the saved instance would have produced. The
+     * default implementations throw, so a workload type that never
+     * gained support fails a checkpoint attempt loudly instead of
+     * silently replaying from the start.
+     */
+    virtual void saveState(SerialWriter &) const { unsupported(); }
+    virtual void loadState(SerialReader &) { unsupported(); }
+
+  private:
+    [[noreturn]] void
+    unsupported() const
+    {
+        throw std::runtime_error("checkpoint: workload '" + name() +
+                                 "' does not support save/restore");
+    }
 };
 
 } // namespace tacsim

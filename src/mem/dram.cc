@@ -1,8 +1,10 @@
 #include "mem/dram.hh"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/registry.hh"
 #include "sim/verify.hh"
@@ -186,6 +188,39 @@ Dram::checkInvariants() const
            << stats_.rowConflicts << " != reads=" << stats_.reads
            << " + writes=" << stats_.writes;
         throw InvariantViolation(name_, "row-conservation", os.str());
+    }
+}
+
+void
+Dram::saveState(SerialWriter &w) const
+{
+    w.putU64(channels_.size());
+    for (const Channel &ch : channels_) {
+        w.putU64(ch.busFreeAt);
+        w.putU64(ch.banks.size());
+        for (const Bank &b : ch.banks) {
+            w.putU64(b.readyAt);
+            w.putU64(b.openRow);
+            w.putBool(b.rowValid);
+        }
+    }
+}
+
+void
+Dram::loadState(SerialReader &r)
+{
+    if (r.getU64() != channels_.size())
+        throw std::runtime_error("checkpoint: DRAM channel count mismatch");
+    for (Channel &ch : channels_) {
+        ch.busFreeAt = r.getU64();
+        if (r.getU64() != ch.banks.size())
+            throw std::runtime_error(
+                "checkpoint: DRAM bank count mismatch");
+        for (Bank &b : ch.banks) {
+            b.readyAt = r.getU64();
+            b.openRow = r.getU64();
+            b.rowValid = r.getBool();
+        }
     }
 }
 

@@ -33,6 +33,9 @@ class ChromeTracer;
 class Registry;
 } // namespace obs
 
+class SerialReader;
+class SerialWriter;
+
 /** Tuning knobs for one DRAM channel (all in core cycles @ 4 GHz). */
 struct DramParams
 {
@@ -105,6 +108,14 @@ class Dram : public MemDevice
      *  parameters, row-state accounting conserves requests, open-row
      *  bookkeeping is coherent. Throws verify::InvariantViolation. */
     void checkInvariants() const;
+
+    /**
+     * Checkpoint bank/bus timing state (tacsim-ckpt-v1). Times are
+     * absolute cycles; the owner restores the event-queue clock to the
+     * same instant, so they remain directly comparable after restore.
+     */
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
 
   private:
     struct Bank

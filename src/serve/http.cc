@@ -1,0 +1,165 @@
+#include "serve/http.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "serve/json.hh"
+
+namespace tacsim {
+namespace serve {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+const std::string &
+HttpRequest::header(const std::string &name) const
+{
+    auto it = headers.find(name);
+    return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpRequestParser::State
+HttpRequestParser::fail(const std::string &why)
+{
+    state_ = State::Error;
+    error_ = why;
+    return state_;
+}
+
+bool
+HttpRequestParser::parseHeaderSection(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    // Request line: METHOD SP target SP HTTP/x.y
+    std::istringstream rl(trim(line));
+    if (!(rl >> req_.method >> req_.target >> req_.version))
+        return false;
+    std::string extra;
+    if (rl >> extra)
+        return false;
+    if (req_.version.rfind("HTTP/", 0) != 0)
+        return false;
+
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return false;
+        req_.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+    return true;
+}
+
+HttpRequestParser::State
+HttpRequestParser::feed(const char *data, std::size_t n)
+{
+    if (state_ != State::NeedMore)
+        return state_;
+    buf_.append(data, n);
+
+    if (!headersDone_) {
+        const std::size_t end = buf_.find("\r\n\r\n");
+        if (end == std::string::npos) {
+            if (buf_.size() > kMaxHeaderBytes)
+                return fail("header section too large");
+            return state_;
+        }
+        if (end > kMaxHeaderBytes)
+            return fail("header section too large");
+        if (!parseHeaderSection(buf_.substr(0, end)))
+            return fail("malformed request line or header");
+        buf_.erase(0, end + 4);
+        headersDone_ = true;
+
+        const std::string &cl = req_.header("content-length");
+        if (!cl.empty()) {
+            char *endp = nullptr;
+            const unsigned long long v =
+                std::strtoull(cl.c_str(), &endp, 10);
+            if (endp == cl.c_str() || *endp != '\0')
+                return fail("malformed Content-Length");
+            if (v > kMaxBodyBytes)
+                return fail("body too large");
+            bodyNeeded_ = static_cast<std::size_t>(v);
+        } else if (!req_.header("transfer-encoding").empty()) {
+            return fail("chunked transfer encoding not supported");
+        }
+    }
+
+    if (buf_.size() >= bodyNeeded_) {
+        req_.body = buf_.substr(0, bodyNeeded_);
+        buf_.clear();
+        state_ = State::Done;
+    }
+    return state_;
+}
+
+std::string
+makeHttpResponse(int status, const std::string &reason,
+                 const std::string &contentType, const std::string &body)
+{
+    std::string out;
+    out.reserve(body.size() + 128);
+    out += "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+    out += "Content-Type: " + contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+std::string
+httpOkJson(const std::string &json)
+{
+    return makeHttpResponse(200, "OK", "application/json", json);
+}
+
+std::string
+httpOkText(const std::string &text)
+{
+    return makeHttpResponse(200, "OK", "text/plain; charset=utf-8", text);
+}
+
+std::string
+httpError(int status, const std::string &reason,
+          const std::string &message)
+{
+    JsonObject o;
+    o["error"] = JsonValue(message);
+    return makeHttpResponse(status, reason, "application/json",
+                            JsonValue(std::move(o)).dump());
+}
+
+} // namespace serve
+} // namespace tacsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 message layer for the serve daemon — hand-rolled
+ * over POSIX sockets, zero third-party dependencies.
+ *
+ * Scope is exactly what the daemon's API needs: request-line + headers
+ * + optional Content-Length body (no chunked transfer, no pipelining,
+ * one request per connection, "Connection: close" semantics). The
+ * parser is incremental (feed() bytes as they arrive) and defensive:
+ * header-section and body sizes are capped, malformed input moves the
+ * parser to Error instead of throwing, and nothing a peer sends can
+ * allocate unboundedly — a network-facing parser is the one place in
+ * this codebase where inputs are genuinely adversarial.
+ *
+ * Kept separate from the server so tests can drive the parser with
+ * byte-exact fragments (split mid-line, oversized, torn bodies) without
+ * opening sockets.
+ */
+
+#ifndef TACSIM_SERVE_HTTP_HH
+#define TACSIM_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tacsim {
+namespace serve {
+
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< request target, e.g. "/jobs/3"
+    std::string version; ///< "HTTP/1.1"
+    /** Header fields, keys lower-cased (field names are
+     *  case-insensitive per RFC 9110). */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Header value or "" when absent (@p name must be lower-case). */
+    const std::string &header(const std::string &name) const;
+};
+
+/**
+ * Incremental request parser. feed() bytes until state() leaves
+ * NeedMore; on Done, request() is complete (any bytes past the message
+ * end are ignored — connections are not pipelined). On Error,
+ * error() explains and the connection should be answered 400 and
+ * closed.
+ */
+class HttpRequestParser
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        NeedMore,
+        Done,
+        Error,
+    };
+
+    /** Caps chosen for the daemon's tiny API; a job spec is ~1KB. */
+    static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+    static constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+    State feed(const char *data, std::size_t n);
+    State state() const { return state_; }
+    const HttpRequest &request() const { return req_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    State fail(const std::string &why);
+    bool parseHeaderSection(const std::string &text);
+
+    State state_ = State::NeedMore;
+    bool headersDone_ = false;
+    std::size_t bodyNeeded_ = 0;
+    std::string buf_;
+    HttpRequest req_;
+    std::string error_;
+};
+
+/** Serialize a response: status line, headers (Content-Length and
+ *  Connection: close added), blank line, body. */
+std::string makeHttpResponse(int status, const std::string &reason,
+                             const std::string &contentType,
+                             const std::string &body);
+
+/** Convenience wrappers used across the server's handlers. */
+std::string httpOkJson(const std::string &json);
+std::string httpOkText(const std::string &text);
+std::string httpError(int status, const std::string &reason,
+                      const std::string &message);
+
+} // namespace serve
+} // namespace tacsim
+
+#endif // TACSIM_SERVE_HTTP_HH

@@ -1,0 +1,189 @@
+#include "serve/job_spec.hh"
+
+#include <stdexcept>
+
+#include "serve/point_key.hh"
+#include "sim/topology.hh"
+
+namespace tacsim {
+namespace serve {
+
+namespace {
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error("job spec: " + what);
+}
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    static const PolicyKind kKinds[] = {
+        PolicyKind::LRU,   PolicyKind::Random, PolicyKind::SRRIP,
+        PolicyKind::BRRIP, PolicyKind::DRRIP,  PolicyKind::SHiP,
+        PolicyKind::Hawkeye};
+    for (PolicyKind k : kKinds)
+        if (policyKindName(k) == name)
+            return k;
+    bad("unknown replacement policy '" + name + "'");
+}
+
+PrefetcherKind
+parsePrefetcher(const std::string &name)
+{
+    static const PrefetcherKind kKinds[] = {
+        PrefetcherKind::None,  PrefetcherKind::NextLine,
+        PrefetcherKind::IpStride, PrefetcherKind::Spp,
+        PrefetcherKind::Bingo, PrefetcherKind::Ipcp,
+        PrefetcherKind::Isb};
+    for (PrefetcherKind k : kKinds)
+        if (prefetcherKindName(k) == name)
+            return k;
+    bad("unknown prefetcher '" + name + "'");
+}
+
+double
+fraction(const JsonValue &v, const char *key)
+{
+    const double d = v.asNumber();
+    if (!(d >= 0.0 && d <= 1.0))
+        bad(std::string(key) + " must be in [0,1]");
+    return d;
+}
+
+void
+applyConfig(SystemConfig &cfg, const JsonValue &v)
+{
+    if (!v.isObject())
+        bad("'config' must be an object");
+
+    // Topology first: later per-field overrides win over its derived
+    // values, matching how a CLI user would compose them.
+    if (v.has("topology"))
+        applyTopology(parseTopologySpec(v.at("topology").asString()),
+                      cfg);
+
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "topology") {
+            // handled above
+        } else if (key == "num_cores") {
+            cfg.numCores = static_cast<unsigned>(val.asU64());
+            if (cfg.numCores == 0)
+                bad("num_cores must be positive");
+        } else if (key == "threads_per_core") {
+            cfg.threadsPerCore = static_cast<unsigned>(val.asU64());
+            if (cfg.threadsPerCore == 0)
+                bad("threads_per_core must be positive");
+        } else if (key == "seed") {
+            cfg.seed = val.asU64();
+        } else if (key == "translation_aware") {
+            TranslationAwareOptions ta;
+            if (val.isBool()) {
+                if (!val.asBool())
+                    continue;
+            } else if (val.isObject()) {
+                for (const auto &[tk, tv] : val.asObject()) {
+                    if (tk == "tdrrip")
+                        ta.tDrrip = tv.asBool();
+                    else if (tk == "tship")
+                        ta.tShip = tv.asBool();
+                    else if (tk == "new_signatures_only")
+                        ta.newSignaturesOnly = tv.asBool();
+                    else if (tk == "atp")
+                        ta.atp = tv.asBool();
+                    else if (tk == "tempo")
+                        ta.tempo = tv.asBool();
+                    else
+                        bad("unknown translation_aware key '" + tk + "'");
+                }
+            } else {
+                bad("translation_aware must be a bool or an object");
+            }
+            applyTranslationAware(cfg, ta);
+        } else if (key == "l2_policy") {
+            cfg.l2Policy = parsePolicy(val.asString());
+        } else if (key == "llc_policy") {
+            cfg.llcPolicy = parsePolicy(val.asString());
+        } else if (key == "l1_prefetcher") {
+            cfg.l1Prefetcher = parsePrefetcher(val.asString());
+        } else if (key == "l2_prefetcher") {
+            cfg.l2Prefetcher = parsePrefetcher(val.asString());
+        } else if (key == "atp_l2") {
+            cfg.atpL2 = val.asBool();
+        } else if (key == "atp_llc") {
+            cfg.atpLlc = val.asBool();
+        } else if (key == "tempo") {
+            cfg.tempo = val.asBool();
+            cfg.dram.tempo = cfg.tempo;
+        } else if (key == "dtlb_entries") {
+            cfg.dtlbEntries = static_cast<std::uint32_t>(val.asU64());
+        } else if (key == "stlb_entries") {
+            cfg.stlbEntries = static_cast<std::uint32_t>(val.asU64());
+        } else if (key == "huge_pages_2m") {
+            cfg.vm.hugePages2M = fraction(val, "huge_pages_2m");
+        } else if (key == "huge_pages_1g") {
+            cfg.vm.hugePages1G = fraction(val, "huge_pages_1g");
+        } else if (key == "nested") {
+            cfg.vm.nested = val.asBool();
+        } else if (key == "host_huge_pages_2m") {
+            cfg.vm.hostHugePages2M = fraction(val, "host_huge_pages_2m");
+        } else if (key == "host_huge_pages_1g") {
+            cfg.vm.hostHugePages1G = fraction(val, "host_huge_pages_1g");
+        } else {
+            bad("unknown config key '" + key + "'");
+        }
+    }
+}
+
+} // namespace
+
+JobSpec
+parseJobSpec(const JsonValue &v)
+{
+    if (!v.isObject())
+        bad("submission body must be a JSON object");
+    for (const auto &[key, val] : v.asObject()) {
+        (void)val;
+        if (key != "spec" && key != "instructions" && key != "warmup" &&
+            key != "config")
+            bad("unknown key '" + key + "'");
+    }
+    if (!v.has("spec"))
+        bad("missing 'spec'");
+
+    JobSpec out;
+    if (v.has("config"))
+        applyConfig(out.cfg, v.at("config"));
+    if (v.has("instructions"))
+        out.instructions = v.at("instructions").asU64();
+    if (v.has("warmup"))
+        out.warmup = v.at("warmup").asU64();
+
+    const JsonValue &spec = v.at("spec");
+    if (spec.isString()) {
+        out.specs.assign(out.cfg.threads(), spec.asString());
+    } else if (spec.isArray()) {
+        for (const JsonValue &s : spec.asArray())
+            out.specs.push_back(s.asString());
+        if (out.specs.size() != out.cfg.threads())
+            bad("'spec' array has " + std::to_string(out.specs.size()) +
+                " entries for " + std::to_string(out.cfg.threads()) +
+                " hardware threads");
+    } else {
+        bad("'spec' must be a string or an array of strings");
+    }
+    for (const std::string &s : out.specs)
+        if (s.empty())
+            bad("workload specs must be non-empty");
+    return out;
+}
+
+std::string
+jobSpecPointKey(const JobSpec &spec)
+{
+    return pointKey(spec.cfg, spec.specs, spec.instructions, spec.warmup);
+}
+
+} // namespace serve
+} // namespace tacsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * JSON job specification — the serve daemon's submission format.
+ *
+ * A job spec describes one simulation point:
+ *
+ *   {
+ *     "spec": "mcf" | ["mcf", "xalancbmk"],    // workload spec(s)
+ *     "instructions": 20000,                   // optional, 0 = default
+ *     "warmup": 5000,                          // optional, 0 = default
+ *     "config": { ... }                        // optional overrides
+ *   }
+ *
+ * "spec" is either one workload spec applied to every hardware thread
+ * (a Table-II benchmark name or "trace:<path>", resolved on the
+ * daemon's filesystem) or an array with exactly one spec per thread.
+ *
+ * "config" overrides named fields of the default SystemConfig:
+ *   num_cores, threads_per_core, seed          integers
+ *   topology                                   canonical topology spec
+ *                                              (sim/topology.hh), applied
+ *                                              before other overrides
+ *   translation_aware                          true = the paper's full
+ *                                              T-DRRIP+T-SHiP+ATP switch
+ *                                              set, or an object with
+ *                                              tdrrip/tship/
+ *                                              new_signatures_only/atp/
+ *                                              tempo booleans
+ *   l2_policy, llc_policy                      "LRU"|"Random"|"SRRIP"|
+ *                                              "BRRIP"|"DRRIP"|"SHiP"|
+ *                                              "Hawkeye"
+ *   l1_prefetcher, l2_prefetcher               "None"|"NextLine"|
+ *                                              "IpStride"|"Spp"|"Bingo"|
+ *                                              "Ipcp"|"Isb"
+ *   atp_l2, atp_llc, tempo                     booleans
+ *   dtlb_entries, stlb_entries                 integers
+ *   huge_pages_2m, huge_pages_1g               fractions [0,1]
+ *   nested                                     boolean
+ *   host_huge_pages_2m, host_huge_pages_1g     fractions [0,1]
+ *
+ * Unknown keys are rejected (a typoed override must not silently
+ * simulate the default), and every parse error carries the offending
+ * key. Parsing never touches global state, so the server can validate
+ * submissions on its network threads.
+ */
+
+#ifndef TACSIM_SERVE_JOB_SPEC_HH
+#define TACSIM_SERVE_JOB_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.hh"
+#include "sim/config.hh"
+
+namespace tacsim {
+namespace serve {
+
+struct JobSpec
+{
+    SystemConfig cfg;
+    std::vector<std::string> specs; ///< one per hardware thread
+    std::uint64_t instructions = 0; ///< 0 = runner default
+    std::uint64_t warmup = 0;       ///< 0 = runner default
+};
+
+/** Parse a submission body; throws std::runtime_error with a
+ *  user-facing message on any defect. */
+JobSpec parseJobSpec(const JsonValue &v);
+
+/** Canonical point hash of a parsed spec (serve/point_key.hh). */
+std::string jobSpecPointKey(const JobSpec &spec);
+
+} // namespace serve
+} // namespace tacsim
+
+#endif // TACSIM_SERVE_JOB_SPEC_HH

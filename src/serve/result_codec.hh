@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Exact JSON codec for RunResult — the serve layer's interchange form.
+ *
+ * Unlike the human-facing tacsim-sweep-v1 report (which rounds doubles
+ * to %.6g for readability), this codec must round-trip: a RunResult
+ * stored in the result cache and decoded later has to be
+ * indistinguishable from the freshly computed one, or a cache hit
+ * would produce a different canonical stats dump than the run it
+ * memoizes. Doubles therefore serialize with full precision
+ * (serve/json.hh prints %.17g) and every field of RunResult is
+ * covered; decode rejects missing fields rather than defaulting them,
+ * so the codec and the struct cannot drift apart silently.
+ */
+
+#ifndef TACSIM_SERVE_RESULT_CODEC_HH
+#define TACSIM_SERVE_RESULT_CODEC_HH
+
+#include "serve/json.hh"
+#include "sim/runner.hh"
+
+namespace tacsim {
+namespace serve {
+
+/** Encode every field of @p r as a JSON object. */
+JsonValue runResultToJson(const RunResult &r);
+
+/** Decode a runResultToJson object; throws std::runtime_error on
+ *  missing or mistyped fields. */
+RunResult runResultFromJson(const JsonValue &v);
+
+} // namespace serve
+} // namespace tacsim
+
+#endif // TACSIM_SERVE_RESULT_CODEC_HH

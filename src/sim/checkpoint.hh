@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The `tacsim-ckpt-v1` on-disk checkpoint container.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   header   8B magic "TACCKPT1"
+ *            u32 version (= 1)
+ *            u64 configLen, then configLen bytes of
+ *                canonicalConfigText (sim/config.hh) of the saved system
+ *            u64 payloadLen
+ *   payload  payloadLen bytes of System::saveState output
+ *   footer   u32 CRC-32 (IEEE) of config text + payload bytes
+ *
+ * The embedded config text is the compatibility stamp: loadCheckpoint
+ * refuses to restore into a System whose canonical config differs from
+ * the saver's, because state layouts (set counts, way counts, ROB
+ * geometry) are config-derived and a silent mismatch would corrupt the
+ * restored machine. The CRC rejects truncation and bit rot before any
+ * payload byte is interpreted.
+ *
+ * Checkpoints are only written at quiesce() boundaries (System::saveState
+ * enforces this), which is what makes restore deterministic: a
+ * straight-through run and a save/restore run execute identical
+ * instruction streams from identical machine state, so their canonical
+ * stats dumps stay byte-identical.
+ */
+
+#ifndef TACSIM_SIM_CHECKPOINT_HH
+#define TACSIM_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tacsim {
+
+class System;
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * Quiesce @p sys and write a tacsim-ckpt-v1 file to @p path.
+ * Throws std::runtime_error on I/O failure or when the system holds
+ * state that cannot be checkpointed (see System::saveState).
+ */
+void saveCheckpoint(const std::string &path, System &sys);
+
+/**
+ * Restore @p sys from a tacsim-ckpt-v1 file. @p sys must be freshly
+ * built with the same configuration the checkpoint was saved from;
+ * throws std::runtime_error on magic/version/CRC/config mismatch or a
+ * malformed payload.
+ */
+void loadCheckpoint(const std::string &path, System &sys);
+
+} // namespace tacsim
+
+#endif // TACSIM_SIM_CHECKPOINT_HH

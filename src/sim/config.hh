@@ -182,6 +182,18 @@ struct TranslationAwareOptions
 void applyTranslationAware(SystemConfig &cfg,
                            const TranslationAwareOptions &opts = {});
 
+/**
+ * Canonical, behavior-complete text form of a SystemConfig: one
+ * "key value" line per field that can change simulation results, in a
+ * fixed order, with doubles printed round-trip-exactly. Two configs
+ * produce the same text iff they simulate identically, which makes this
+ * the config component of serve::pointKey (the content-addressed result
+ * cache) and the compatibility stamp inside tacsim-ckpt-v1 checkpoints.
+ * Observability sinks (ObsConfig) are deliberately excluded: they alter
+ * outputs on disk, never simulated behavior.
+ */
+std::string canonicalConfigText(const SystemConfig &cfg);
+
 } // namespace tacsim
 
 #endif // TACSIM_SIM_CONFIG_HH

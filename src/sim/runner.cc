@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/path.hh"
+#include "sim/checkpoint.hh"
 #include "sim/verify.hh"
 
 namespace tacsim {
@@ -198,6 +199,93 @@ runSpecMix(const SystemConfig &cfg, const std::vector<std::string> &specs,
         wls.push_back(makeWorkloadFromSpec(specs[t], cfg.seed + t));
     return runWorkloads(cfg, std::move(wls), "", instructionsPerThread,
                         warmup);
+}
+
+namespace {
+
+struct BuiltSystem
+{
+    std::unique_ptr<System> sys;
+    std::string label;
+};
+
+/** Build a System for a spec mix exactly the way runSpecMix would,
+ *  including obs-path expansion, so checkpoint save/restore runs see
+ *  the same machine as a straight-through run. */
+BuiltSystem
+buildSpecMixSystem(const SystemConfig &cfg,
+                   const std::vector<std::string> &specs)
+{
+    std::vector<std::unique_ptr<Workload>> wls;
+    wls.reserve(specs.size());
+    for (std::size_t t = 0; t < specs.size(); ++t)
+        wls.push_back(makeWorkloadFromSpec(specs[t], cfg.seed + t));
+
+    std::string label;
+    for (std::size_t t = 0; t < wls.size(); ++t) {
+        if (t)
+            label += "-";
+        label += wls[t]->name();
+    }
+
+    SystemConfig runCfg = cfg;
+    runCfg.obs.timeseriesPath =
+        obs::expandPointPath(runCfg.obs.timeseriesPath, label);
+    runCfg.obs.chromeTracePath =
+        obs::expandPointPath(runCfg.obs.chromeTracePath, label);
+    if (runCfg.obs.label.empty())
+        runCfg.obs.label = label;
+
+    return {std::make_unique<System>(runCfg, std::move(wls)), label};
+}
+
+} // namespace
+
+RunResult
+runSpecMixCheckpointed(const SystemConfig &cfg,
+                       const std::vector<std::string> &specs,
+                       std::uint64_t instructionsPerThread,
+                       std::uint64_t warmup, const std::string &ckptPath)
+{
+    if (instructionsPerThread == 0)
+        instructionsPerThread = defaultInstructions();
+    if (warmup == 0)
+        warmup = defaultWarmup();
+
+    BuiltSystem built = buildSpecMixSystem(cfg, specs);
+    System &sys = *built.sys;
+#ifdef TACSIM_VERIFY_ENABLED
+    verify::Checker checker(sys);
+    sys.attachChecker(&checker);
+#endif
+    sys.run(warmup);
+    // saveCheckpoint quiesces first; the measured run then continues
+    // from the same drained boundary a restored run starts at.
+    saveCheckpoint(ckptPath, sys);
+    sys.resetStats();
+    sys.run(instructionsPerThread);
+    return collectResult(sys, built.label);
+}
+
+RunResult
+runSpecMixFromCheckpoint(const SystemConfig &cfg,
+                         const std::vector<std::string> &specs,
+                         std::uint64_t instructionsPerThread,
+                         const std::string &ckptPath)
+{
+    if (instructionsPerThread == 0)
+        instructionsPerThread = defaultInstructions();
+
+    BuiltSystem built = buildSpecMixSystem(cfg, specs);
+    System &sys = *built.sys;
+#ifdef TACSIM_VERIFY_ENABLED
+    verify::Checker checker(sys);
+    sys.attachChecker(&checker);
+#endif
+    loadCheckpoint(ckptPath, sys);
+    sys.resetStats();
+    sys.run(instructionsPerThread);
+    return collectResult(sys, built.label);
 }
 
 RunResult

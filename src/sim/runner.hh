@@ -105,6 +105,30 @@ RunResult runSpecMix(const SystemConfig &cfg,
                      std::uint64_t warmup = 0);
 
 /**
+ * Like runSpecMix, but after the warm-up phase the system is quiesced
+ * and its full state written to @p ckptPath as a tacsim-ckpt-v1 file
+ * (sim/checkpoint.hh) before the measured run continues. The result is
+ * byte-identical to a plain warm+quiesce+measure run: saving is
+ * observation, not perturbation.
+ */
+RunResult runSpecMixCheckpointed(const SystemConfig &cfg,
+                                 const std::vector<std::string> &specs,
+                                 std::uint64_t instructionsPerThread,
+                                 std::uint64_t warmup,
+                                 const std::string &ckptPath);
+
+/**
+ * Resume from a checkpoint written by runSpecMixCheckpointed: build a
+ * fresh System for (@p cfg, @p specs), restore @p ckptPath into it, and
+ * run the measured phase only. With the same cfg/specs/instruction
+ * budget, the RunResult matches the saving run's byte-for-byte.
+ */
+RunResult runSpecMixFromCheckpoint(const SystemConfig &cfg,
+                                   const std::vector<std::string> &specs,
+                                   std::uint64_t instructionsPerThread,
+                                   const std::string &ckptPath);
+
+/**
  * Run pre-built workloads (one per thread). This is the primitive the
  * spec/benchmark entry points delegate to; callers that need to wrap
  * workloads themselves (e.g. the trace CLI teeing a run through a

@@ -11,6 +11,8 @@
 
 #include "common/host.hh"
 #include "obs/path.hh"
+#include "serve/point_key.hh"
+#include "sim/stats_dump.hh"
 #include "sim/topology.hh"
 
 namespace tacsim {
@@ -73,6 +75,23 @@ jsonNumber(double v)
     return buf;
 }
 
+/**
+ * Canonical hash of a point, or "" when it cannot be computed (e.g. a
+ * "trace:<path>" spec whose file is missing). An empty hash disables
+ * dedup and caching for the job; execution still runs and captures the
+ * real error, preserving the runner's per-job failure reporting.
+ */
+std::string
+tryPointKey(const SystemConfig &cfg, const std::vector<std::string> &specs,
+            std::uint64_t instructions, std::uint64_t warmup)
+{
+    try {
+        return serve::pointKey(cfg, specs, instructions, warmup);
+    } catch (const std::exception &) {
+        return "";
+    }
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(unsigned jobs)
@@ -95,12 +114,44 @@ std::size_t
 SweepRunner::addJob(Job job)
 {
     auto it = index_.find(job.key);
-    if (it != index_.end())
-        return it->second; // memoized: first registration wins
+    if (it != index_.end()) {
+        // Same name must mean the same simulation point. The old memo
+        // keyed on the name alone, so a key reused for a different
+        // config silently returned the first registration's numbers —
+        // exactly the wrong-result class of bug the canonical hash
+        // exists to prevent.
+        const Job &existing = jobs_[it->second];
+        if (!job.pointKey.empty() && !existing.pointKey.empty() &&
+            job.pointKey != existing.pointKey)
+            throw std::runtime_error(
+                "sweep key '" + job.key +
+                "' re-registered for a different simulation point");
+        return it->second;
+    }
+    if (!job.pointKey.empty()) {
+        auto hit = hashIndex_.find(job.pointKey);
+        if (hit != hashIndex_.end()) {
+            // Identical point under a new name: alias instead of
+            // simulating twice.
+            index_.emplace(job.key, hit->second);
+            return hit->second;
+        }
+    }
     const std::size_t idx = jobs_.size();
     index_.emplace(job.key, idx);
+    if (!job.pointKey.empty())
+        hashIndex_.emplace(job.pointKey, idx);
     jobs_.push_back(std::move(job));
     return idx;
+}
+
+std::size_t
+SweepRunner::jobIndex(const std::string &key) const
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        throw std::runtime_error("unknown sweep point '" + key + "'");
+    return it->second;
 }
 
 std::size_t
@@ -125,6 +176,15 @@ SweepRunner::addMix(const std::string &key, const SystemConfig &cfg,
     job.warmup = warmup ? warmup : defaultWarmup();
     job.seed = cfg.seed;
     job.topology = dumpTopologySpec(topologyOf(cfg));
+    // runMix resolves each thread's workload the same way: the config's
+    // spec (when set) overrides the benchmark choice on every thread.
+    std::vector<std::string> specs;
+    specs.reserve(mix.size());
+    for (Benchmark b : mix)
+        specs.push_back(cfg.workload.empty() ? benchmarkName(b)
+                                             : cfg.workload);
+    job.pointKey =
+        tryPointKey(cfg, specs, job.instructions, job.warmup);
     for (std::size_t t = 0; t < mix.size(); ++t) {
         if (t)
             job.benchmark += "-";
@@ -148,6 +208,9 @@ SweepRunner::addSpec(const std::string &key, const SystemConfig &cfg,
     job.warmup = warmup ? warmup : defaultWarmup();
     job.seed = cfg.seed;
     job.topology = dumpTopologySpec(topologyOf(cfg));
+    job.pointKey = tryPointKey(
+        cfg, std::vector<std::string>(cfg.threads(), spec),
+        job.instructions, job.warmup);
     // benchmark stays empty: execute() labels the outcome with the
     // workload's own name (trace headers carry the benchmark name).
     job.fn = [cfg = configForPoint(cfg, key), spec,
@@ -172,6 +235,7 @@ SweepRunner::execute(Job &job)
 {
     SweepOutcome o;
     o.key = job.key;
+    o.pointKey = job.pointKey;
     o.benchmark = job.benchmark;
     o.topology = job.topology;
     o.instructions = job.instructions;
@@ -181,7 +245,15 @@ SweepRunner::execute(Job &job)
     // tacsim-lint: allow(nondeterminism-hazard) measures host wall time for the report's wallMs field; never feeds simulation state
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        o.result = job.fn();
+        if (cache_ && !job.pointKey.empty() &&
+            cache_->lookup(job.pointKey, o.result)) {
+            o.cached = true;
+        } else {
+            o.result = job.fn();
+            if (cache_ && !job.pointKey.empty())
+                cache_->store(job.pointKey, o.result,
+                              dumpRunResult(o.result));
+        }
         o.ok = true;
         if (o.benchmark.empty())
             o.benchmark = o.result.benchmark;
@@ -242,9 +314,13 @@ SweepRunner::run()
 const RunResult &
 SweepRunner::result(const std::string &key)
 {
+    // Aliased names resolve to their primary job's key, under which the
+    // (single) outcome is stored.
+    const std::size_t idx = jobIndex(key);
+    const std::string &primary = jobs_[idx].key;
     {
         std::lock_guard<std::mutex> lk(mutex_);
-        auto it = results_.find(key);
+        auto it = results_.find(primary);
         if (it != results_.end()) {
             if (!it->second.ok)
                 throw std::runtime_error("sweep point '" + key +
@@ -252,12 +328,9 @@ SweepRunner::result(const std::string &key)
             return it->second.result;
         }
     }
-    auto idx = index_.find(key);
-    if (idx == index_.end())
-        throw std::runtime_error("unknown sweep point '" + key + "'");
-    execute(jobs_[idx->second]);
+    execute(jobs_[idx]);
     std::lock_guard<std::mutex> lk(mutex_);
-    SweepOutcome &o = results_.at(key);
+    SweepOutcome &o = results_.at(primary);
     if (!o.ok)
         throw std::runtime_error("sweep point '" + key +
                                  "' failed: " + o.error);
@@ -267,8 +340,11 @@ SweepRunner::result(const std::string &key)
 const SweepOutcome *
 SweepRunner::outcome(const std::string &key) const
 {
+    auto idx = index_.find(key);
+    if (idx == index_.end())
+        return nullptr;
     std::lock_guard<std::mutex> lk(mutex_);
-    auto it = results_.find(key);
+    auto it = results_.find(jobs_[idx->second].key);
     return it == results_.end() ? nullptr : &it->second;
 }
 
@@ -322,18 +398,22 @@ SweepRunner::writeJson(const std::string &path, const std::string &title,
             o.ok ? "null" : "\"" + jsonEscape(o.error) + "\"";
         std::fprintf(
             f,
-            "%s\n    {\"key\": \"%s\", \"benchmark\": \"%s\", "
+            "%s\n    {\"key\": \"%s\", \"point_key\": \"%s\", "
+            "\"benchmark\": \"%s\", "
             "\"topology\": \"%s\", "
             "\"instructions\": %llu, \"warmup\": %llu, \"seed\": %llu, "
-            "\"ok\": %s, \"wall_ms\": %s, \"cycles\": %llu, "
+            "\"ok\": %s, \"cached\": %s, \"wall_ms\": %s, "
+            "\"cycles\": %llu, "
             "\"ipc\": %s, \"error\": %s}",
             i ? "," : "", jsonEscape(o.key).c_str(),
+            jsonEscape(o.pointKey).c_str(),
             jsonEscape(o.benchmark).c_str(),
             jsonEscape(o.topology).c_str(),
             static_cast<unsigned long long>(o.instructions),
             static_cast<unsigned long long>(o.warmup),
             static_cast<unsigned long long>(o.seed),
-            o.ok ? "true" : "false", jsonNumber(o.wallMs).c_str(),
+            o.ok ? "true" : "false", o.cached ? "true" : "false",
+            jsonNumber(o.wallMs).c_str(),
             static_cast<unsigned long long>(o.ok ? o.result.cycles : 0),
             jsonNumber(o.ok ? o.result.ipc : 0.0).c_str(),
             err.c_str());

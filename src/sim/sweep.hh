@@ -47,7 +47,12 @@ struct ReportRow
 struct SweepOutcome
 {
     std::string key;
+    /** Canonical content hash of the simulation point
+     *  (serve::pointKey — config + workload content + budgets).
+     *  Empty for custom jobs, whose behavior the runner cannot see. */
+    std::string pointKey;
     bool ok = false;
+    bool cached = false; ///< result came from an attached SweepCache
     RunResult result;   ///< valid only when ok
     std::string error;  ///< exception text when !ok
     double wallMs = 0;  ///< wall time of this point's simulation
@@ -68,10 +73,40 @@ struct SweepOutcome
 };
 
 /**
+ * Persistent result store the runner can consult before simulating a
+ * point. Keys are canonical content hashes (serve::pointKey), so a
+ * cache populated by any process — a previous run, the serve daemon, a
+ * different machine — is valid here. Implementations must be
+ * thread-safe: the pool calls lookup()/store() concurrently. The
+ * canonical implementation is serve::ResultCache's adapter
+ * (serve/result_cache.hh).
+ */
+class SweepCache
+{
+  public:
+    virtual ~SweepCache() = default;
+
+    /** Fill @p out and return true when @p pointKey is cached. A miss
+     *  (including a corrupt or unreadable entry) returns false. */
+    virtual bool lookup(const std::string &pointKey, RunResult &out) = 0;
+
+    /** Record a freshly computed result. @p statsDump is the canonical
+     *  dump (dumpRunResult) so the store can serve it byte-identically
+     *  later. */
+    virtual void store(const std::string &pointKey,
+                       const RunResult &result,
+                       const std::string &statsDump) = 0;
+};
+
+/**
  * Two-phase sweep executor: add() points, run() them across the pool,
- * then read result()/outcome() in any order. add() of an already-known
- * key is a no-op (memoization), and result() of a registered-but-unrun
- * key executes it on demand, so lazy serial callers keep working.
+ * then read result()/outcome() in any order. Registration is memoized
+ * on the *canonical point hash* (serve::pointKey), not the name: the
+ * same simulation point added under two names runs once (the second
+ * name aliases the first), and re-registering a name for a different
+ * point throws instead of silently returning the first registration's
+ * result. result() of a registered-but-unrun key executes it on
+ * demand, so lazy serial callers keep working.
  */
 class SweepRunner
 {
@@ -125,6 +160,15 @@ class SweepRunner
     /** TACSIM_JOBS env var if set (>0), else hardware_concurrency. */
     static unsigned defaultJobs();
 
+    /**
+     * Attach a persistent result store consulted before each point
+     * simulates (and fed after). Pass nullptr to detach. The cache must
+     * outlive the runner or be detached first; custom jobs (no point
+     * hash) always simulate.
+     */
+    void attachCache(SweepCache *cache) { cache_ = cache; }
+    SweepCache *cache() const { return cache_; }
+
     /** Write the JSON report to @p path; false on I/O failure. */
     bool writeJson(const std::string &path, const std::string &title,
                    const std::vector<ReportRow> &rows) const;
@@ -138,6 +182,7 @@ class SweepRunner
     struct Job
     {
         std::string key;
+        std::string pointKey;  ///< canonical hash ("" for custom)
         std::function<RunResult()> fn;
         std::string benchmark; ///< "-"-joined mix name ("" for custom)
         std::string topology;  ///< canonical spec ("" for custom)
@@ -147,10 +192,17 @@ class SweepRunner
 
     std::size_t addJob(Job job);
     void execute(Job &job);
+    /** Job index for @p key (aliases resolve to their primary job);
+     *  throws std::runtime_error for unknown keys. */
+    std::size_t jobIndex(const std::string &key) const;
 
     unsigned threads_;
     std::vector<Job> jobs_;
+    /** Registration name -> job index; aliases share an index. */
     std::unordered_map<std::string, std::size_t> index_;
+    /** Canonical point hash -> job index (the real memo). */
+    std::unordered_map<std::string, std::size_t> hashIndex_;
+    SweepCache *cache_ = nullptr;
     mutable std::mutex mutex_; ///< guards results_ and Job::done
     std::unordered_map<std::string, SweepOutcome> results_;
 };

@@ -1,6 +1,9 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/serialize.hh"
 
 #include "cache/repl/csalt.hh"
 #include "cache/repl/deadblock.hh"
@@ -365,6 +368,146 @@ System::run(std::uint64_t instrPerThread)
     if (checker_)
         checker_->onDrain();
 #endif
+}
+
+void
+System::quiesce()
+{
+    for (auto &c : cores_)
+        c->beginDrain();
+    while (true) {
+        eq_.advanceTo(cycle_);
+        bool robsEmpty = true;
+        for (auto &c : cores_) {
+            c->tick();
+            if (!c->robEmpty())
+                robsEmpty = false;
+        }
+        if (robsEmpty && eq_.empty())
+            break;
+        if (robsEmpty) {
+            // Only background events remain (store writebacks, fills
+            // with no waiter); jump straight to the next one.
+            cycle_ = std::max(cycle_ + 1, eq_.nextEventCycle());
+            continue;
+        }
+        ++cycle_;
+    }
+    for (auto &c : cores_)
+        c->endDrain();
+
+#ifdef TACSIM_VERIFY_ENABLED
+    // The drain is a natural verification point: every structure is at
+    // rest, so a full hierarchy walk is maximally meaningful.
+    if (checker_)
+        checker_->onDrain();
+#endif
+}
+
+void
+System::saveState(SerialWriter &w) const
+{
+    if (sampler_)
+        throw std::runtime_error(
+            "checkpoint: time-series sampler attached (unsupported)");
+    if (tracer_)
+        throw std::runtime_error(
+            "checkpoint: Chrome tracer attached (unsupported)");
+    TACSIM_CHECK(eq_.empty() && eq_.now() == cycle_ &&
+                 "saveState requires a quiesced system (call quiesce())");
+
+    w.beginSection("clock");
+    w.putU64(cycle_);
+    w.putU64(eq_.seq());
+    w.putU64(eq_.executed());
+
+    w.beginSection("memory");
+    frames_.saveState(w);
+    hostFrames_.saveState(w);
+    for (const auto &pt : pageTables_)
+        pt->saveState(w);
+    w.putBool(hostPageTable_ != nullptr);
+    if (hostPageTable_)
+        hostPageTable_->saveState(w);
+    dram_->saveState(w);
+
+    w.beginSection("caches");
+    for (const auto &s : llc_)
+        s->saveState(w);
+    for (const auto &c : l2_)
+        c->saveState(w);
+    for (const auto &c : l1d_)
+        c->saveState(w);
+
+    w.beginSection("translation");
+    for (const auto &t : dtlb_)
+        t->saveState(w);
+    for (const auto &t : stlb_)
+        t->saveState(w);
+    for (const auto &p : ptw_)
+        p->saveState(w);
+
+    w.beginSection("cores");
+    for (const auto &c : cores_)
+        c->saveState(w);
+    for (const auto &wl : workloads_)
+        wl->saveState(w);
+}
+
+void
+System::loadState(SerialReader &r)
+{
+    if (sampler_)
+        throw std::runtime_error(
+            "checkpoint: time-series sampler attached (unsupported)");
+    if (tracer_)
+        throw std::runtime_error(
+            "checkpoint: Chrome tracer attached (unsupported)");
+    TACSIM_CHECK(eq_.empty() &&
+                 "loadState requires a freshly built system");
+
+    r.expectSection("clock");
+    cycle_ = r.getU64();
+    const std::uint64_t seq = r.getU64();
+    const std::uint64_t executed = r.getU64();
+    eq_.restoreClock(cycle_, seq, executed);
+    cycleBase_ = cycle_;
+    runStartCycle_ = cycle_;
+
+    r.expectSection("memory");
+    frames_.loadState(r);
+    hostFrames_.loadState(r);
+    for (auto &pt : pageTables_)
+        pt->loadState(r);
+    const bool hasHost = r.getBool();
+    if (hasHost != (hostPageTable_ != nullptr))
+        throw std::runtime_error(
+            "checkpoint: nested-translation mode mismatch");
+    if (hostPageTable_)
+        hostPageTable_->loadState(r);
+    dram_->loadState(r);
+
+    r.expectSection("caches");
+    for (auto &s : llc_)
+        s->loadState(r);
+    for (auto &c : l2_)
+        c->loadState(r);
+    for (auto &c : l1d_)
+        c->loadState(r);
+
+    r.expectSection("translation");
+    for (auto &t : dtlb_)
+        t->loadState(r);
+    for (auto &t : stlb_)
+        t->loadState(r);
+    for (auto &p : ptw_)
+        p->loadState(r);
+
+    r.expectSection("cores");
+    for (auto &c : cores_)
+        c->loadState(r);
+    for (auto &wl : workloads_)
+        wl->loadState(r);
 }
 
 CacheStats

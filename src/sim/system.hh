@@ -70,6 +70,35 @@ class System
     /** Run @p instr instructions then zero all statistics (warm-up). */
     void warmup(std::uint64_t instr);
 
+    /**
+     * Drain to a quiesced boundary: suspend dispatch on every core,
+     * keep ticking until all ROBs are empty and the event queue is dry
+     * (outstanding misses, walks and background writes complete). This
+     * is the only legal point to saveState() from — with nothing in
+     * flight, the checkpoint needs no MSHR/walk/event serialization.
+     * Deterministic: a straight-through run and a restored run execute
+     * the same drain, so their stats remain byte-identical.
+     */
+    void quiesce();
+
+    /**
+     * Serialize the full mutable simulation state (tacsim-ckpt-v1
+     * payload; sim/checkpoint.hh adds the file container). Requires a
+     * quiesced system; throws when a component with unsupported state
+     * is attached (sampler, tracer, prefetchers, recall profilers,
+     * policies without save support).
+     */
+    void saveState(SerialWriter &w) const;
+
+    /**
+     * Restore state captured by saveState() into a freshly built System
+     * of the *same configuration* (the checkpoint container verifies
+     * the canonical config text before calling this). After restore,
+     * resetStats() + run() reproduces the original continuation
+     * byte-for-byte.
+     */
+    void loadState(SerialReader &r);
+
     /** Zero statistics on every component; sets the measurement base. */
     void resetStats();
 

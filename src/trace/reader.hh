@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "core/trace.hh"
 #include "trace/format.hh"
 
@@ -118,6 +119,37 @@ class TraceFileWorkload : public Workload
     Addr footprint() const override { return reader_.header().footprint; }
 
     const TraceHeader &header() const { return reader_.header(); }
+
+    /**
+     * Checkpoint support: the replay cursor is just the record position
+     * within the file (the loop count does not matter — the stream is
+     * periodic). Restore rewinds and decodes forward; the delta decoder
+     * has no random access, but checkpoint restore is a once-per-job
+     * cost and decode throughput is tens of millions of records/sec.
+     */
+    void
+    saveState(SerialWriter &w) const override
+    {
+        w.putU64(reader_.position());
+    }
+
+    void
+    loadState(SerialReader &r) override
+    {
+        const std::uint64_t target = r.getU64();
+        if (target > reader_.header().recordCount)
+            throw std::runtime_error(
+                "checkpoint: trace position " + std::to_string(target) +
+                " exceeds record count of " + reader_.path());
+        reader_.rewind();
+        TraceRecord scratch;
+        for (std::uint64_t i = 0; i < target; ++i) {
+            if (!reader_.next(scratch))
+                throw std::runtime_error(
+                    "checkpoint: trace ended early replaying to position " +
+                    std::to_string(target) + ": " + reader_.path());
+        }
+    }
 
   private:
     TraceReader reader_;

@@ -19,9 +19,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace tacsim {
@@ -51,6 +53,10 @@ class FrameAllocator
 
     /** Total bytes of physical memory handed out. */
     Addr allocated() const { return next_; }
+
+    /** Checkpoint seams: the allocator is one cursor. */
+    void saveState(SerialWriter &w) const { w.putU64(next_); }
+    void loadState(SerialReader &r) { next_ = r.getU64(); }
 
   private:
     Addr next_;
@@ -186,6 +192,43 @@ class PageTable
 
     const HugePagePolicy &policy() const { return policy_; }
 
+    /**
+     * Checkpoint the lazily-built radix tree as a sparse recursive dump
+     * (frame + populated leaf slots + populated children per node). The
+     * FrameAllocator cursor is saved separately by the owner; restoring
+     * both reproduces the exact first-touch frame assignment, so a
+     * restored run allocates identical frames for new pages.
+     */
+    void
+    saveState(SerialWriter &w) const
+    {
+        w.putU64(overrides_.size());
+        for (const Override &o : overrides_) {
+            w.putU64(o.begin);
+            w.putU64(o.end);
+            w.putU8(static_cast<std::uint8_t>(o.ps));
+        }
+        saveNode(w, root_.get());
+    }
+
+    void
+    loadState(SerialReader &r)
+    {
+        // Overrides are configuration (mapRegion calls), not mutable
+        // state: the rebuilt system must have made the same calls.
+        const std::uint64_t n = r.getU64();
+        if (n != overrides_.size())
+            throw std::runtime_error(
+                "checkpoint: page-table mapRegion overrides differ");
+        for (const Override &o : overrides_) {
+            if (r.getU64() != o.begin || r.getU64() != o.end ||
+                r.getU8() != static_cast<std::uint8_t>(o.ps))
+                throw std::runtime_error(
+                    "checkpoint: page-table mapRegion overrides differ");
+        }
+        root_ = loadNode(r);
+    }
+
   private:
     struct Node
     {
@@ -232,6 +275,55 @@ class PageTable
             if (ch)
                 c += countNodes(ch.get());
         return c;
+    }
+
+    static void
+    saveNode(SerialWriter &w, const Node *n)
+    {
+        w.putU64(n->frame);
+        std::uint32_t leaves = 0;
+        for (Addr pfn : n->leafPfn)
+            leaves += pfn != 0;
+        w.putU32(leaves);
+        for (std::uint32_t i = 0; i < kPtEntries; ++i) {
+            if (n->leafPfn[i] != 0) {
+                w.putU32(i);
+                w.putU64(n->leafPfn[i]);
+            }
+        }
+        std::uint32_t kids = 0;
+        for (const auto &ch : n->children)
+            kids += ch != nullptr;
+        w.putU32(kids);
+        for (std::uint32_t i = 0; i < kPtEntries; ++i) {
+            if (n->children[i]) {
+                w.putU32(i);
+                saveNode(w, n->children[i].get());
+            }
+        }
+    }
+
+    static std::unique_ptr<Node>
+    loadNode(SerialReader &r)
+    {
+        auto n = std::make_unique<Node>(r.getU64());
+        const std::uint32_t leaves = r.getU32();
+        for (std::uint32_t i = 0; i < leaves; ++i) {
+            const std::uint32_t idx = r.getU32();
+            if (idx >= kPtEntries)
+                throw std::runtime_error(
+                    "checkpoint: page-table leaf index out of range");
+            n->leafPfn[idx] = r.getU64();
+        }
+        const std::uint32_t kids = r.getU32();
+        for (std::uint32_t i = 0; i < kids; ++i) {
+            const std::uint32_t idx = r.getU32();
+            if (idx >= kPtEntries)
+                throw std::runtime_error(
+                    "checkpoint: page-table child index out of range");
+            n->children[idx] = loadNode(r);
+        }
+        return n;
     }
 
     FrameAllocator *alloc_;

@@ -1,6 +1,7 @@
 #include "vm/psc.hh"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/verify.hh"
 
@@ -157,6 +158,43 @@ PagingStructureCaches::checkInvariants() const
                         who, "duplicate-tag", ctx.str(),
                         static_cast<std::int64_t>(j));
             }
+        }
+    }
+}
+
+void
+PagingStructureCaches::saveState(SerialWriter &w) const
+{
+    w.putU64(clock_);
+    for (const auto &cache : caches_) {
+        w.putU64(cache.size());
+        for (const Entry &e : cache) {
+            w.putU64(e.tag);
+            w.putU64(e.frame);
+            w.putU64(e.va);
+            w.putU64(e.lru);
+            w.putU16(e.asid);
+            w.putU8(e.leafLevel);
+            w.putBool(e.valid);
+        }
+    }
+}
+
+void
+PagingStructureCaches::loadState(SerialReader &r)
+{
+    clock_ = r.getU64();
+    for (auto &cache : caches_) {
+        if (r.getU64() != cache.size())
+            throw std::runtime_error("checkpoint: PSC geometry mismatch");
+        for (Entry &e : cache) {
+            e.tag = r.getU64();
+            e.frame = r.getU64();
+            e.va = r.getU64();
+            e.lru = r.getU64();
+            e.asid = r.getU16();
+            e.leafLevel = r.getU8();
+            e.valid = r.getBool();
         }
     }
 }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace tacsim {
@@ -88,6 +89,10 @@ class PagingStructureCaches
     void pokeForTest(unsigned level, std::uint32_t index,
                      std::uint16_t asid, Addr vaddr, Addr frame,
                      unsigned leafLevel = 1);
+
+    /** Checkpoint the four arrays + LRU clock (tacsim-ckpt-v1). */
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
 
     /** Tag for (asid, vaddr) at @p level — exposed for tests. */
     static std::uint64_t

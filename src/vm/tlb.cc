@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "obs/registry.hh"
 #include "sim/verify.hh"
@@ -253,6 +254,53 @@ Tlb::checkInvariants() const
             throw InvariantViolation(name_, "mixed-size-alias", ctx.str(),
                                      cur.set, cur.way);
         }
+    }
+}
+
+void
+Tlb::saveState(SerialWriter &w) const
+{
+    if (profiler_)
+        throw std::runtime_error(
+            "checkpoint: TLB '" + name_ +
+            "' has a recall profiler attached (unsupported)");
+    w.putU64(clock_);
+    w.putU64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.putU64(e.vpn);
+        w.putU64(e.pfn);
+        w.putU64(e.lru);
+        w.putU16(e.asid);
+        w.putU8(static_cast<std::uint8_t>(e.size));
+        w.putBool(e.valid);
+    }
+}
+
+void
+Tlb::loadState(SerialReader &r)
+{
+    if (profiler_)
+        throw std::runtime_error(
+            "checkpoint: TLB '" + name_ +
+            "' has a recall profiler attached (unsupported)");
+    clock_ = r.getU64();
+    if (r.getU64() != entries_.size())
+        throw std::runtime_error("checkpoint: TLB '" + name_ +
+                                 "' geometry mismatch");
+    sizeCount_.fill(0);
+    for (Entry &e : entries_) {
+        e.vpn = r.getU64();
+        e.pfn = r.getU64();
+        e.lru = r.getU64();
+        e.asid = r.getU16();
+        const std::uint8_t size = r.getU8();
+        if (size >= kNumPageSizes)
+            throw std::runtime_error("checkpoint: TLB '" + name_ +
+                                     "' entry has a bad page size");
+        e.size = static_cast<PageSize>(size);
+        e.valid = r.getBool();
+        if (e.valid)
+            ++sizeCount_[size];
     }
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/recall_profiler.hh"
+#include "common/serialize.hh"
 #include "common/set_index.hh"
 #include "common/types.hh"
 
@@ -118,6 +119,10 @@ class Tlb
     void pokeForTest(std::uint32_t set, std::uint32_t way,
                      std::uint16_t asid, Addr vpn, Addr pfn,
                      PageSize ps = PageSize::Size4K);
+
+    /** Checkpoint the array contents + LRU clock (tacsim-ckpt-v1). */
+    void saveState(SerialWriter &w) const;
+    void loadState(SerialReader &r);
 
   private:
     struct Entry

@@ -1,5 +1,7 @@
 #include "workloads/canneal.hh"
 
+#include "workloads/ckpt.hh"
+
 namespace tacsim {
 
 namespace {
@@ -78,6 +80,22 @@ CannealWorkload::refill()
         store(ip(5), a);
         store(ip(6), b);
     }
+}
+
+void
+CannealWorkload::saveState(SerialWriter &w) const
+{
+    workload_ckpt::saveRng(w, rng_);
+    w.putU64(poolBase_);
+    workload_ckpt::saveQueue(w, queue_);
+}
+
+void
+CannealWorkload::loadState(SerialReader &r)
+{
+    workload_ckpt::loadRng(r, rng_);
+    poolBase_ = r.getU64();
+    workload_ckpt::loadQueue(r, queue_);
 }
 
 } // namespace tacsim

@@ -45,6 +45,9 @@ class CannealWorkload : public Workload
     std::string name() const override { return "canneal"; }
     Addr footprint() const override { return p_.footprintBytes; }
 
+    void saveState(SerialWriter &w) const override;
+    void loadState(SerialReader &r) override;
+
   private:
     void refill();
 

@@ -1,5 +1,7 @@
 #include "workloads/graph.hh"
 
+#include "workloads/ckpt.hh"
+
 namespace tacsim {
 
 namespace {
@@ -247,6 +249,24 @@ GraphWorkload::refillTc()
             emitNonMem(ip(42), p_.fillerPerEdge + 1); // compare/advance
         }
     }
+}
+
+void
+GraphWorkload::saveState(SerialWriter &w) const
+{
+    workload_ckpt::saveRng(w, rng_);
+    w.putU64(curVertex_);
+    w.putU64(frontierBase_);
+    workload_ckpt::saveQueue(w, queue_);
+}
+
+void
+GraphWorkload::loadState(SerialReader &r)
+{
+    workload_ckpt::loadRng(r, rng_);
+    curVertex_ = r.getU64();
+    frontierBase_ = r.getU64();
+    workload_ckpt::loadQueue(r, queue_);
 }
 
 } // namespace tacsim

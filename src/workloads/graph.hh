@@ -82,6 +82,9 @@ class GraphWorkload : public Workload
     /** Procedural @p i-th neighbour of vertex @p v. */
     std::uint64_t neighbor(std::uint64_t v, std::uint64_t i) const;
 
+    void saveState(SerialWriter &w) const override;
+    void loadState(SerialReader &r) override;
+
   private:
     // Address helpers.
     Addr vertexA(std::uint64_t v) const { return baseA_ + v * 8; }

@@ -1,5 +1,7 @@
 #include "workloads/mcf.hh"
 
+#include "workloads/ckpt.hh"
+
 namespace tacsim {
 
 namespace {
@@ -103,6 +105,28 @@ McfWorkload::refill()
     cur_ = successor(cur_, hop_++);
     if (hop_ % 8 == 0)
         poolBase_ = (poolBase_ + 1) % nodes_; // pool slides slowly
+}
+
+void
+McfWorkload::saveState(SerialWriter &w) const
+{
+    workload_ckpt::saveRng(w, rng_);
+    w.putU64(cur_);
+    w.putU64(hop_);
+    w.putU64(poolBase_);
+    w.putU64(scan_);
+    workload_ckpt::saveQueue(w, queue_);
+}
+
+void
+McfWorkload::loadState(SerialReader &r)
+{
+    workload_ckpt::loadRng(r, rng_);
+    cur_ = r.getU64();
+    hop_ = r.getU64();
+    poolBase_ = r.getU64();
+    scan_ = r.getU64();
+    workload_ckpt::loadQueue(r, queue_);
 }
 
 } // namespace tacsim

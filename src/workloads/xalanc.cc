@@ -1,5 +1,7 @@
 #include "workloads/xalanc.hh"
 
+#include "workloads/ckpt.hh"
+
 namespace tacsim {
 
 namespace {
@@ -90,6 +92,24 @@ XalancWorkload::refill()
         ++out_;
         queue_.push_back(st);
     }
+}
+
+void
+XalancWorkload::saveState(SerialWriter &w) const
+{
+    workload_ckpt::saveRng(w, rng_);
+    w.putU64(poolBase_);
+    w.putU64(out_);
+    workload_ckpt::saveQueue(w, queue_);
+}
+
+void
+XalancWorkload::loadState(SerialReader &r)
+{
+    workload_ckpt::loadRng(r, rng_);
+    poolBase_ = r.getU64();
+    out_ = r.getU64();
+    workload_ckpt::loadQueue(r, queue_);
 }
 
 } // namespace tacsim

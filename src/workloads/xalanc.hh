@@ -48,6 +48,9 @@ class XalancWorkload : public Workload
     std::string name() const override { return "xalancbmk"; }
     Addr footprint() const override { return p_.coldBytes; }
 
+    void saveState(SerialWriter &w) const override;
+    void loadState(SerialReader &r) override;
+
   private:
     void refill();
 

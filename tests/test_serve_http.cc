@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the incremental HTTP/1.1 request parser (serve/http.hh) and
+ * the serve-layer JSON reader/writer — the two components that face
+ * untrusted network bytes, so the emphasis is on hostile input:
+ * split-anywhere feeds, oversized headers and bodies, malformed
+ * lengths, deep nesting, trailing garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "serve/http.hh"
+#include "serve/json.hh"
+
+namespace tacsim {
+namespace serve {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State
+feedAll(HttpRequestParser &p, const std::string &bytes,
+        std::size_t chunk = 0)
+{
+    if (chunk == 0)
+        return p.feed(bytes.data(), bytes.size());
+    State s = p.state();
+    for (std::size_t i = 0; i < bytes.size(); i += chunk)
+        s = p.feed(bytes.data() + i,
+                   std::min(chunk, bytes.size() - i));
+    return s;
+}
+
+TEST(HttpParser, ParsesSimpleGet)
+{
+    HttpRequestParser p;
+    ASSERT_EQ(feedAll(p, "GET /healthz HTTP/1.1\r\n"
+                         "Host: localhost\r\n\r\n"),
+              State::Done);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().target, "/healthz");
+    EXPECT_EQ(p.request().header("host"), "localhost");
+    EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParser, ParsesPostWithBody)
+{
+    const std::string body = "{\"spec\":\"mcf\"}";
+    HttpRequestParser p;
+    ASSERT_EQ(feedAll(p,
+                      "POST /jobs HTTP/1.1\r\n"
+                      "Content-Type: application/json\r\n"
+                      "Content-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" +
+                          body),
+              State::Done);
+    EXPECT_EQ(p.request().method, "POST");
+    EXPECT_EQ(p.request().body, body);
+    // Header names are case-insensitive (stored lowercased).
+    EXPECT_EQ(p.request().header("content-type"), "application/json");
+}
+
+TEST(HttpParser, ByteAtATimeFeedIsEquivalent)
+{
+    const std::string body = "hello body";
+    const std::string req = "POST /jobs HTTP/1.1\r\n"
+                            "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    HttpRequestParser p;
+    ASSERT_EQ(feedAll(p, req, 1), State::Done);
+    EXPECT_EQ(p.request().body, body);
+}
+
+TEST(HttpParser, ExcessBytesBeyondContentLengthAreIgnored)
+{
+    HttpRequestParser p;
+    ASSERT_EQ(feedAll(p, "POST /jobs HTTP/1.1\r\n"
+                         "Content-Length: 2\r\n\r\nabEXTRA"),
+              State::Done);
+    EXPECT_EQ(p.request().body, "ab");
+}
+
+TEST(HttpParser, RejectsMalformedRequestLine)
+{
+    HttpRequestParser p1;
+    EXPECT_EQ(feedAll(p1, "GET /\r\n\r\n"), State::Error);
+    HttpRequestParser p2;
+    EXPECT_EQ(feedAll(p2, "GET / extra HTTP/1.1\r\n\r\n"), State::Error);
+    HttpRequestParser p3;
+    EXPECT_EQ(feedAll(p3, "GET / FTP/1.1\r\n\r\n"), State::Error);
+}
+
+TEST(HttpParser, RejectsMalformedContentLength)
+{
+    HttpRequestParser p;
+    EXPECT_EQ(feedAll(p, "POST /jobs HTTP/1.1\r\n"
+                         "Content-Length: twelve\r\n\r\n"),
+              State::Error);
+}
+
+TEST(HttpParser, RejectsChunkedEncoding)
+{
+    HttpRequestParser p;
+    EXPECT_EQ(feedAll(p, "POST /jobs HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n\r\n"),
+              State::Error);
+}
+
+TEST(HttpParser, CapsHeaderSize)
+{
+    HttpRequestParser p;
+    std::string req = "GET / HTTP/1.1\r\n";
+    req += "X-Pad: " + std::string(HttpRequestParser::kMaxHeaderBytes,
+                                   'a');
+    EXPECT_EQ(feedAll(p, req, 4096), State::Error);
+}
+
+TEST(HttpParser, CapsBodySize)
+{
+    HttpRequestParser p;
+    EXPECT_EQ(feedAll(p,
+                      "POST /jobs HTTP/1.1\r\nContent-Length: " +
+                          std::to_string(
+                              HttpRequestParser::kMaxBodyBytes + 1) +
+                          "\r\n\r\n"),
+              State::Error);
+}
+
+TEST(HttpResponse, CarriesLengthAndClose)
+{
+    const std::string r = makeHttpResponse(200, "OK", "text/plain",
+                                           "body!");
+    EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(r.substr(r.size() - 5), "body!");
+}
+
+TEST(Json, ParsesScalarsArraysObjects)
+{
+    const JsonValue v = parseJson(
+        R"({"a": 1, "b": [true, null, "xA"], "c": {"d": 2.5}})");
+    EXPECT_EQ(v.at("a").asU64(), 1u);
+    EXPECT_TRUE(v.at("b").asArray()[0].asBool());
+    EXPECT_TRUE(v.at("b").asArray()[1].isNull());
+    EXPECT_EQ(v.at("b").asArray()[2].asString(), "xA");
+    EXPECT_EQ(v.at("c").at("d").asNumber(), 2.5);
+    EXPECT_TRUE(v.at("missing").isNull());
+}
+
+TEST(Json, DumpRoundTripsExactly)
+{
+    JsonObject o;
+    o["pi"] = JsonValue(3.141592653589793);
+    o["n"] = JsonValue(static_cast<std::uint64_t>(123456789));
+    o["s"] = JsonValue(std::string("quote \" slash \\ ctrl \n"));
+    const std::string text = JsonValue(o).dump();
+    const JsonValue back = parseJson(text);
+    EXPECT_EQ(back.at("pi").asNumber(), 3.141592653589793);
+    EXPECT_EQ(back.at("n").asU64(), 123456789u);
+    EXPECT_EQ(back.at("s").asString(), o["s"].asString());
+    EXPECT_EQ(back.dump(), text); // fixpoint
+}
+
+TEST(Json, RejectsHostileInput)
+{
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\":1} trailing"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), std::runtime_error);
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_THROW(parseJson(deep), std::runtime_error);
+    // Raw control characters must be escaped.
+    EXPECT_THROW(parseJson("\"a\nb\""), std::runtime_error);
+}
+
+TEST(Json, U64RejectsNonIntegers)
+{
+    EXPECT_THROW(parseJson("2.5").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("-1").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("1e300").asU64(), std::runtime_error);
+    EXPECT_EQ(parseJson("0").asU64(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tacsim

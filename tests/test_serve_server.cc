@@ -1,0 +1,336 @@
+/**
+ * @file
+ * End-to-end tests for the serve daemon (serve/server.hh): a real
+ * Server on an ephemeral loopback port, driven through real sockets —
+ * job submission and polling, in-flight dedup, persistent-cache hits
+ * across a daemon restart with byte-identical stats dumps, error
+ * handling for hostile submissions, and graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/job_spec.hh"
+#include "serve/point_key.hh"
+#include "serve/server.hh"
+#include "sim/runner.hh"
+#include "sim/stats_dump.hh"
+
+namespace tacsim {
+namespace serve {
+namespace {
+
+constexpr std::uint64_t kInstr = 20000;
+constexpr std::uint64_t kWarm = 5000;
+
+std::string
+tmpDir(const std::string &stem)
+{
+    return ::testing::TempDir() + "tacsim_" + stem + "_" +
+        std::to_string(::getpid());
+}
+
+struct Reply
+{
+    int status = 0;
+    std::string body;
+};
+
+/** Blocking one-shot HTTP exchange against 127.0.0.1:@p port. */
+Reply
+exchange(std::uint16_t port, const std::string &method,
+         const std::string &target, const std::string &body = "")
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    std::string req = method + " " + target + " HTTP/1.1\r\n";
+    req += "Host: 127.0.0.1\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    req += body;
+    EXPECT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(req.size()));
+
+    std::string raw;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        raw.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    Reply r;
+    const std::size_t split = raw.find("\r\n\r\n");
+    if (split == std::string::npos)
+        return r;
+    r.status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+    r.body = raw.substr(split + 4);
+    return r;
+}
+
+std::string
+mcfBody()
+{
+    return "{\"spec\": \"mcf\", \"instructions\": " +
+        std::to_string(kInstr) + ", \"warmup\": " +
+        std::to_string(kWarm) + "}";
+}
+
+/** Poll /jobs/<id> until terminal; returns the final status object. */
+JsonValue
+pollToCompletion(std::uint16_t port, std::uint64_t id)
+{
+    for (int i = 0; i < 3000; ++i) {
+        const Reply r =
+            exchange(port, "GET", "/jobs/" + std::to_string(id));
+        EXPECT_EQ(r.status, 200);
+        JsonValue v = parseJson(r.body);
+        const std::string &state = v.at("status").asString();
+        if (state == "done" || state == "failed")
+            return v;
+        ::usleep(10000);
+    }
+    ADD_FAILURE() << "job " << id << " never completed";
+    return JsonValue();
+}
+
+TEST(ServeServer, HealthAndMetricsRespond)
+{
+    Server server({});
+    server.start();
+    EXPECT_NE(server.port(), 0);
+
+    EXPECT_EQ(exchange(server.port(), "GET", "/healthz").body, "ok\n");
+    const Reply m = exchange(server.port(), "GET", "/metrics");
+    EXPECT_EQ(m.status, 200);
+    EXPECT_NE(m.body.find("serve.jobs_submitted 0\n"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServeServer, SubmitPollResultMatchesLocalRun)
+{
+    Server server({});
+    server.start();
+    const std::uint16_t port = server.port();
+
+    const Reply r = exchange(port, "POST", "/jobs", mcfBody());
+    ASSERT_EQ(r.status, 200) << r.body;
+    const JsonValue submitted = parseJson(r.body);
+    EXPECT_TRUE(isPointKey(submitted.at("point_key").asString()));
+
+    const JsonValue done =
+        pollToCompletion(port, submitted.at("id").asU64());
+    ASSERT_EQ(done.at("status").asString(), "done");
+    EXPECT_FALSE(done.at("cached").asBool());
+
+    // The daemon's canonical dump must equal a local run's, byte for
+    // byte — serving is observation, not perturbation.
+    SystemConfig cfg;
+    const RunResult local = runSpec(cfg, "mcf", kInstr, kWarm);
+    EXPECT_EQ(done.at("stats_dump").asString(), dumpRunResult(local));
+
+    // /results/<key> serves the same bytes as text/plain.
+    const Reply res = exchange(
+        port, "GET", "/results/" + done.at("point_key").asString());
+    EXPECT_EQ(res.status, 200);
+    EXPECT_EQ(res.body, dumpRunResult(local));
+    server.stop();
+}
+
+TEST(ServeServer, DuplicateSubmissionsShareOneJob)
+{
+    Server server({});
+    server.start();
+    const std::uint16_t port = server.port();
+
+    const JsonValue a =
+        parseJson(exchange(port, "POST", "/jobs", mcfBody()).body);
+    const JsonValue b =
+        parseJson(exchange(port, "POST", "/jobs", mcfBody()).body);
+    EXPECT_EQ(a.at("id").asU64(), b.at("id").asU64());
+    EXPECT_EQ(a.at("point_key").asString(),
+              b.at("point_key").asString());
+
+    // A different point gets its own job.
+    const JsonValue c = parseJson(
+        exchange(port, "POST", "/jobs",
+                 "{\"spec\": \"xalancbmk\", \"instructions\": 20000, "
+                 "\"warmup\": 5000}")
+            .body);
+    EXPECT_NE(c.at("id").asU64(), a.at("id").asU64());
+
+    pollToCompletion(port, a.at("id").asU64());
+    pollToCompletion(port, c.at("id").asU64());
+    const std::string metrics = server.metricsText();
+    EXPECT_NE(metrics.find("serve.jobs_submitted 3\n"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("serve.jobs_deduped 1\n"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("serve.jobs_completed 2\n"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServeServer, CacheHitAcrossRestartIsByteIdentical)
+{
+    const std::string dir = tmpDir("serve_restart");
+    std::string firstDump;
+    std::string key;
+    {
+        ServerConfig cfg;
+        cfg.cacheDir = dir;
+        Server server(cfg);
+        server.start();
+        const JsonValue submitted = parseJson(
+            exchange(server.port(), "POST", "/jobs", mcfBody()).body);
+        const JsonValue done =
+            pollToCompletion(server.port(), submitted.at("id").asU64());
+        ASSERT_EQ(done.at("status").asString(), "done");
+        firstDump = done.at("stats_dump").asString();
+        key = done.at("point_key").asString();
+        server.stop();
+    }
+
+    // Fresh daemon, same cache dir: the point completes at submission
+    // time from the store, with the identical dump.
+    ServerConfig cfg;
+    cfg.cacheDir = dir;
+    Server server(cfg);
+    server.start();
+    const JsonValue hit = parseJson(
+        exchange(server.port(), "POST", "/jobs", mcfBody()).body);
+    EXPECT_EQ(hit.at("status").asString(), "done");
+    EXPECT_TRUE(hit.at("cached").asBool());
+    EXPECT_EQ(hit.at("point_key").asString(), key);
+    EXPECT_EQ(hit.at("stats_dump").asString(), firstDump);
+
+    const Reply res = exchange(server.port(), "GET", "/results/" + key);
+    EXPECT_EQ(res.body, firstDump);
+    server.stop();
+}
+
+TEST(ServeServer, HostileSubmissionsAreRejectedNotFatal)
+{
+    Server server({});
+    server.start();
+    const std::uint16_t port = server.port();
+
+    EXPECT_EQ(exchange(port, "POST", "/jobs", "not json").status, 400);
+    EXPECT_EQ(exchange(port, "POST", "/jobs", "{}").status, 400);
+    EXPECT_EQ(exchange(port, "POST", "/jobs",
+                       "{\"spec\": \"mcf\", \"bogus\": 1}")
+                  .status,
+              400);
+    EXPECT_EQ(exchange(port, "POST", "/jobs",
+                       "{\"spec\": \"mcf\", \"config\": "
+                       "{\"no_such_knob\": 1}}")
+                  .status,
+              400);
+    EXPECT_EQ(exchange(port, "GET", "/nope").status, 404);
+    EXPECT_EQ(exchange(port, "GET", "/jobs/999").status, 404);
+    EXPECT_EQ(exchange(port, "GET", "/results/zzz").status, 404);
+    EXPECT_EQ(exchange(port, "DELETE", "/jobs").status, 405);
+
+    // Still healthy after all of that.
+    EXPECT_EQ(exchange(port, "GET", "/healthz").status, 200);
+    server.stop();
+}
+
+TEST(ServeServer, FailedJobsReportTheError)
+{
+    Server server({});
+    server.start();
+
+    // A nonexistent trace cannot even be hashed: rejected at submit.
+    EXPECT_EQ(exchange(server.port(), "POST", "/jobs",
+                       "{\"spec\": \"trace:/nonexistent/f.tactrc\"}")
+                  .status,
+              400);
+
+    // A malformed trace hashes fine (the key covers raw bytes) but the
+    // worker fails parsing it — the job turns Failed, not the daemon.
+    const std::string path = tmpDir("bad_trace") + ".tactrc";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("this is not a tacsim-trace-v1 file", f);
+        std::fclose(f);
+    }
+    const JsonValue submitted = parseJson(
+        exchange(server.port(), "POST", "/jobs",
+                 "{\"spec\": \"trace:" + path + "\"}")
+            .body);
+    const JsonValue done =
+        pollToCompletion(server.port(), submitted.at("id").asU64());
+    EXPECT_EQ(done.at("status").asString(), "failed");
+    EXPECT_FALSE(done.at("error").asString().empty());
+    std::remove(path.c_str());
+    server.stop();
+}
+
+TEST(ServeServer, ConfigOverridesChangeThePoint)
+{
+    Server server({});
+    server.start();
+    const std::uint16_t port = server.port();
+
+    const JsonValue base =
+        parseJson(exchange(port, "POST", "/jobs", mcfBody()).body);
+    const JsonValue translated = parseJson(
+        exchange(port, "POST", "/jobs",
+                 "{\"spec\": \"mcf\", \"instructions\": 20000, "
+                 "\"warmup\": 5000, "
+                 "\"config\": {\"translation_aware\": true}}")
+            .body);
+    EXPECT_NE(base.at("point_key").asString(),
+              translated.at("point_key").asString());
+
+    // The override actually reached the simulation: the translated run
+    // matches a local translation-aware run byte for byte.
+    const JsonValue done =
+        pollToCompletion(port, translated.at("id").asU64());
+    ASSERT_EQ(done.at("status").asString(), "done");
+    SystemConfig cfg;
+    applyTranslationAware(cfg, TranslationAwareOptions{});
+    const RunResult local = runSpec(cfg, "mcf", kInstr, kWarm);
+    EXPECT_EQ(done.at("stats_dump").asString(), dumpRunResult(local));
+
+    pollToCompletion(port, base.at("id").asU64());
+    server.stop();
+}
+
+TEST(ServeServer, StopDrainsGracefully)
+{
+    Server server({});
+    server.start();
+    const std::uint16_t port = server.port();
+    const JsonValue submitted =
+        parseJson(exchange(port, "POST", "/jobs", mcfBody()).body);
+    server.stop(); // in-flight work finishes or fails; never hangs
+
+    // After the drain the job is terminal (done if a worker picked it
+    // up in time, failed("server shutting down") otherwise).
+    const std::uint64_t id = submitted.at("id").asU64();
+    (void)id;
+    const std::string metrics = server.metricsText();
+    EXPECT_NE(metrics.find("serve.jobs_queued 0\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tacsim

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -187,6 +188,146 @@ TEST(Sweep, JsonReportIsWrittenAndWellFormed)
               std::count(text.begin(), text.end(), '}'));
     EXPECT_EQ(std::count(text.begin(), text.end(), '['),
               std::count(text.begin(), text.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, ReRegisteringANameForADifferentPointThrows)
+{
+    // Regression: the memo used to key on the registration name alone,
+    // so this pattern silently returned the first point's result for
+    // the second configuration.
+    SweepRunner sw(1);
+    SystemConfig cfg;
+    sw.addSpec("p", cfg, "mcf", kInstr, kWarm);
+    SystemConfig other;
+    other.stlbEntries = cfg.stlbEntries * 2;
+    EXPECT_THROW(sw.addSpec("p", other, "mcf", kInstr, kWarm),
+                 std::runtime_error);
+    // Identical re-registration stays a memoized no-op.
+    sw.addSpec("p", cfg, "mcf", kInstr, kWarm);
+    EXPECT_EQ(sw.points(), 1u);
+}
+
+TEST(Sweep, SamePointUnderTwoNamesRunsOnce)
+{
+    SweepRunner sw(2);
+    SystemConfig cfg;
+    sw.addSpec("first", cfg, "mcf", kInstr, kWarm);
+    sw.addSpec("alias", cfg, "mcf", kInstr, kWarm);
+    EXPECT_EQ(sw.points(), 1u);
+    sw.run();
+    // Both names resolve to the one result.
+    expectSameResult(sw.result("first"), sw.result("alias"));
+    const SweepOutcome *o = sw.outcome("alias");
+    ASSERT_NE(o, nullptr);
+    EXPECT_TRUE(o->ok);
+    EXPECT_EQ(o->pointKey.size(), 64u);
+}
+
+TEST(Sweep, OutcomesCarryThePointKey)
+{
+    SweepRunner sw(1);
+    SystemConfig cfg;
+    sw.addSpec("spec-point", cfg, "mcf", kInstr, kWarm);
+    sw.addMix("mix-point", cfg, {Benchmark::mcf}, kInstr, kWarm);
+    sw.addCustom("custom-point", [] { return RunResult{}; });
+    sw.run();
+
+    const SweepOutcome *spec = sw.outcome("spec-point");
+    const SweepOutcome *mix = sw.outcome("mix-point");
+    const SweepOutcome *custom = sw.outcome("custom-point");
+    ASSERT_NE(spec, nullptr);
+    ASSERT_NE(mix, nullptr);
+    ASSERT_NE(custom, nullptr);
+    EXPECT_EQ(spec->pointKey.size(), 64u);
+    EXPECT_EQ(mix->pointKey.size(), 64u);
+    // A single-benchmark mix and the same benchmark as a spec are the
+    // same simulation — one canonical identity.
+    EXPECT_EQ(spec->pointKey, mix->pointKey);
+    EXPECT_EQ(sw.points(), 2u); // the mix aliased the spec point
+    // Custom jobs have no canonical hash and never dedup.
+    EXPECT_TRUE(custom->pointKey.empty());
+
+    const std::string path =
+        ::testing::TempDir() + "tacsim_sweep_pk.json";
+    ASSERT_TRUE(sw.writeJson(path, "point keys", {}));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("\"point_key\": \"" + spec->pointKey +
+                            "\""),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"cached\": false"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+/** In-memory SweepCache double: deterministic, no disk. */
+class MemoryCache : public SweepCache
+{
+  public:
+    bool lookup(const std::string &pointKey, RunResult &out) override
+    {
+        ++lookups;
+        auto it = store_.find(pointKey);
+        if (it == store_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void store(const std::string &pointKey, const RunResult &result,
+               const std::string &statsDump) override
+    {
+        ++stores;
+        lastDump = statsDump;
+        store_[pointKey] = result;
+    }
+
+    int lookups = 0;
+    int stores = 0;
+    std::string lastDump;
+
+  private:
+    std::map<std::string, RunResult> store_;
+};
+
+TEST(Sweep, AttachedCacheServesRepeatPointsWithoutSimulating)
+{
+    MemoryCache cache;
+    SystemConfig cfg;
+
+    SweepRunner first(1);
+    first.attachCache(&cache);
+    first.addSpec("p", cfg, "mcf", kInstr, kWarm);
+    first.run();
+    const SweepOutcome *cold = first.outcome("p");
+    ASSERT_NE(cold, nullptr);
+    EXPECT_TRUE(cold->ok);
+    EXPECT_FALSE(cold->cached);
+    EXPECT_EQ(cache.stores, 1);
+    EXPECT_FALSE(cache.lastDump.empty());
+
+    // A second runner over the same point is served from the cache:
+    // no new store, identical result, cached flagged in the outcome.
+    SweepRunner second(1);
+    second.attachCache(&cache);
+    second.addSpec("p", cfg, "mcf", kInstr, kWarm);
+    second.run();
+    const SweepOutcome *warm = second.outcome("p");
+    ASSERT_NE(warm, nullptr);
+    EXPECT_TRUE(warm->ok);
+    EXPECT_TRUE(warm->cached);
+    EXPECT_EQ(cache.stores, 1);
+    expectSameResult(cold->result, warm->result);
+
+    // The JSON report records the hit.
+    const std::string path =
+        ::testing::TempDir() + "tacsim_sweep_cached.json";
+    ASSERT_TRUE(second.writeJson(path, "cached", {}));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("\"cached\": true"), std::string::npos);
     std::remove(path.c_str());
 }
 

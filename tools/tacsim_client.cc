@@ -1,0 +1,381 @@
+/**
+ * @file
+ * tacsim-client: command-line client for a tacsim-served daemon.
+ *
+ *   submit   POST one job spec and (with --wait) poll it to completion
+ *   result   fetch the canonical stats dump for a point key
+ *   sweep    submit many workload specs under one shared config, poll
+ *            them all, and print a summary table
+ *   health   GET /healthz
+ *   metrics  GET /metrics
+ *
+ * The client is deliberately thin: it builds the JSON body, speaks the
+ * same one-request-per-connection HTTP/1.1 the daemon does, and lets
+ * the daemon do every piece of validation and hashing — the point_key
+ * printed here is the daemon's, so a client and a local SweepRunner
+ * pointed at the same cache directory agree by construction.
+ */
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/json.hh"
+
+namespace {
+
+using tacsim::serve::JsonObject;
+using tacsim::serve::JsonValue;
+using tacsim::serve::parseJson;
+
+int
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: tacsim-client [--host H] [--port N] <command> ...\n"
+        "\n"
+        "  submit --spec S [--spec S ...] [--instructions N]\n"
+        "         [--warmup N] [--config JSON] [--wait [--poll-ms N]]\n"
+        "      Submit one job (multiple --spec = one per hardware\n"
+        "      thread). Prints the job-status JSON; with --wait, polls\n"
+        "      until done/failed and prints the final status.\n"
+        "  result --key HEX64\n"
+        "      Print the canonical stats dump for a point key.\n"
+        "  sweep [--instructions N] [--warmup N] [--config JSON]\n"
+        "        [--poll-ms N] SPEC...\n"
+        "      Submit each SPEC as its own job, wait for all, print\n"
+        "      'spec point_key cached ipc' per line.\n"
+        "  health | metrics\n");
+    return code;
+}
+
+struct HttpReply
+{
+    int status = 0;
+    std::string body;
+};
+
+/** One-shot HTTP exchange (Connection: close, read to EOF). */
+HttpReply
+httpExchange(const std::string &host, std::uint16_t port,
+             const std::string &method, const std::string &target,
+             const std::string &body)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("socket() failed");
+
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad host address " + host);
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error("cannot connect to " + host + ":" +
+                                 std::to_string(port) + ": " + err);
+    }
+
+    std::string req = method + " " + target + " HTTP/1.1\r\n";
+    req += "Host: " + host + "\r\n";
+    if (!body.empty())
+        req += "Content-Type: application/json\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    req += "Connection: close\r\n\r\n";
+    req += body;
+
+    std::size_t off = 0;
+    while (off < req.size()) {
+        const ssize_t n = ::send(fd, req.data() + off, req.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("send() failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    HttpReply reply;
+    const std::size_t split = raw.find("\r\n\r\n");
+    if (split == std::string::npos)
+        throw std::runtime_error("malformed HTTP response");
+    // Status line: HTTP/1.1 NNN Reason
+    const std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos || sp + 4 > split)
+        throw std::runtime_error("malformed HTTP status line");
+    reply.status = std::atoi(raw.c_str() + sp + 1);
+    reply.body = raw.substr(split + 4);
+    return reply;
+}
+
+void
+sleepMs(unsigned ms)
+{
+    struct timespec ts{};
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    ::nanosleep(&ts, nullptr);
+}
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::vector<std::string> specs;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+    std::string config; ///< raw JSON text for the "config" member
+    std::string key;
+    bool wait = false;
+    unsigned pollMs = 200;
+};
+
+std::string
+jobBody(const Options &opt, const std::vector<std::string> &specs)
+{
+    JsonObject o;
+    if (specs.size() == 1) {
+        o["spec"] = JsonValue(specs[0]);
+    } else {
+        tacsim::serve::JsonArray arr;
+        for (const std::string &s : specs)
+            arr.push_back(JsonValue(s));
+        o["spec"] = JsonValue(std::move(arr));
+    }
+    if (opt.instructions != 0)
+        o["instructions"] = JsonValue(opt.instructions);
+    if (opt.warmup != 0)
+        o["warmup"] = JsonValue(opt.warmup);
+    if (!opt.config.empty())
+        o["config"] = parseJson(opt.config); // validated client-side too
+    return JsonValue(std::move(o)).dump();
+}
+
+/** Submit one body; returns the parsed status object. */
+JsonValue
+submitJob(const Options &opt, const std::string &body)
+{
+    const HttpReply r =
+        httpExchange(opt.host, opt.port, "POST", "/jobs", body);
+    if (r.status != 200)
+        throw std::runtime_error("submission rejected (" +
+                                 std::to_string(r.status) +
+                                 "): " + r.body);
+    return parseJson(r.body);
+}
+
+/** Poll /jobs/<id> until the state is terminal; returns the final
+ *  status object. */
+JsonValue
+pollJob(const Options &opt, std::uint64_t id)
+{
+    for (;;) {
+        const HttpReply r =
+            httpExchange(opt.host, opt.port, "GET",
+                         "/jobs/" + std::to_string(id), "");
+        if (r.status != 200)
+            throw std::runtime_error("poll failed (" +
+                                     std::to_string(r.status) +
+                                     "): " + r.body);
+        JsonValue v = parseJson(r.body);
+        const std::string &state = v.at("status").asString();
+        if (state == "done" || state == "failed")
+            return v;
+        sleepMs(opt.pollMs);
+    }
+}
+
+int
+cmdSubmit(const Options &opt)
+{
+    JsonValue status = submitJob(opt, jobBody(opt, opt.specs));
+    if (opt.wait &&
+        status.at("status").asString() != "done" &&
+        status.at("status").asString() != "failed")
+        status = pollJob(opt, status.at("id").asU64());
+    std::printf("%s\n", status.dump().c_str());
+    return status.at("status").asString() == "failed" ? 1 : 0;
+}
+
+int
+cmdResult(const Options &opt)
+{
+    const HttpReply r = httpExchange(opt.host, opt.port, "GET",
+                                     "/results/" + opt.key, "");
+    if (r.status != 200) {
+        std::fprintf(stderr, "tacsim-client: %s\n", r.body.c_str());
+        return 1;
+    }
+    std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+    return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    struct Pending
+    {
+        std::string spec;
+        std::uint64_t id = 0;
+    };
+    std::vector<Pending> pending;
+    for (const std::string &spec : opt.specs) {
+        JsonValue status =
+            submitJob(opt, jobBody(opt, {spec}));
+        pending.push_back({spec, status.at("id").asU64()});
+    }
+
+    int rc = 0;
+    for (const Pending &p : pending) {
+        const JsonValue v = pollJob(opt, p.id);
+        if (v.at("status").asString() == "failed") {
+            std::printf("%s FAILED: %s\n", p.spec.c_str(),
+                        v.at("error").asString().c_str());
+            rc = 1;
+            continue;
+        }
+        std::printf("%s %s %s %.4f\n", p.spec.c_str(),
+                    v.at("point_key").asString().c_str(),
+                    v.at("cached").asBool() ? "cached" : "simulated",
+                    v.at("ipc").asNumber());
+    }
+    return rc;
+}
+
+int
+cmdGetText(const Options &opt, const char *target)
+{
+    const HttpReply r =
+        httpExchange(opt.host, opt.port, "GET", target, "");
+    std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+    return r.status == 200 ? 0 : 1;
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end != s && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::string command;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        std::uint64_t v = 0;
+        if (arg == "--help" || arg == "-h") {
+            return usage(0);
+        } else if (arg == "--host" && hasValue) {
+            opt.host = argv[++i];
+        } else if (arg == "--port" && hasValue) {
+            if (!parseU64(argv[++i], v) || v == 0 || v > 65535) {
+                std::fprintf(stderr, "tacsim-client: bad --port\n");
+                return 2;
+            }
+            opt.port = static_cast<std::uint16_t>(v);
+        } else if (arg == "--spec" && hasValue) {
+            opt.specs.push_back(argv[++i]);
+        } else if (arg == "--instructions" && hasValue) {
+            if (!parseU64(argv[++i], opt.instructions))
+                return usage(2);
+        } else if (arg == "--warmup" && hasValue) {
+            if (!parseU64(argv[++i], opt.warmup))
+                return usage(2);
+        } else if (arg == "--config" && hasValue) {
+            opt.config = argv[++i];
+        } else if (arg == "--key" && hasValue) {
+            opt.key = argv[++i];
+        } else if (arg == "--wait") {
+            opt.wait = true;
+        } else if (arg == "--poll-ms" && hasValue) {
+            if (!parseU64(argv[++i], v) || v == 0 || v > 60000)
+                return usage(2);
+            opt.pollMs = static_cast<unsigned>(v);
+        } else if (command.empty() && arg[0] != '-') {
+            command = arg;
+        } else if (command == "sweep" && arg[0] != '-') {
+            opt.specs.push_back(arg);
+        } else {
+            std::fprintf(stderr, "tacsim-client: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(2);
+        }
+    }
+
+    if (command.empty())
+        return usage(2);
+    if (opt.port == 0) {
+        std::fprintf(stderr, "tacsim-client: --port is required\n");
+        return 2;
+    }
+
+    try {
+        if (command == "submit") {
+            if (opt.specs.empty()) {
+                std::fprintf(stderr,
+                             "tacsim-client: submit needs --spec\n");
+                return 2;
+            }
+            return cmdSubmit(opt);
+        }
+        if (command == "result") {
+            if (opt.key.empty()) {
+                std::fprintf(stderr,
+                             "tacsim-client: result needs --key\n");
+                return 2;
+            }
+            return cmdResult(opt);
+        }
+        if (command == "sweep") {
+            if (opt.specs.empty()) {
+                std::fprintf(stderr,
+                             "tacsim-client: sweep needs specs\n");
+                return 2;
+            }
+            return cmdSweep(opt);
+        }
+        if (command == "health")
+            return cmdGetText(opt, "/healthz");
+        if (command == "metrics")
+            return cmdGetText(opt, "/metrics");
+        std::fprintf(stderr, "tacsim-client: unknown command '%s'\n",
+                     command.c_str());
+        return usage(2);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tacsim-client: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * tacsim-served: the simulation-as-a-service daemon (serve::Server).
+ *
+ * Binds a loopback HTTP port, accepts JSON job specs, simulates them on
+ * a bounded worker pool, and answers repeat submissions from the
+ * persistent content-addressed result cache. SIGTERM/SIGINT drain
+ * gracefully: in-flight jobs finish, queued ones fail cleanly, the
+ * cache index is already durable.
+ *
+ * The bound port is printed to stdout as "port <n>" (and flushed)
+ * before the accept loop starts, so scripts can bind port 0 and scrape
+ * the real port.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hh"
+
+namespace {
+
+int
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: tacsim-served [options]\n"
+        "\n"
+        "  --port N            TCP port (default 0 = ephemeral; the\n"
+        "                      bound port is printed as 'port N')\n"
+        "  --host ADDR         bind address (default 127.0.0.1)\n"
+        "  --cache-dir DIR     persistent result cache directory\n"
+        "                      (default: none — results live only in\n"
+        "                      the job table)\n"
+        "  --max-cache-bytes N LRU-evict the cache above N payload\n"
+        "                      bytes (default 0 = unbounded)\n"
+        "  --workers N         simulation threads (default 0 =\n"
+        "                      min(hardware, 4))\n"
+        "\n"
+        "Endpoints: POST /jobs, GET /jobs/<id>, GET /results/<key>,\n"
+        "GET /healthz, GET /metrics. SIGTERM/SIGINT shut down\n"
+        "gracefully.\n");
+    return code;
+}
+
+tacsim::serve::Server *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer != nullptr)
+        gServer->requestStop(); // async-signal-safe by contract
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end != s && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tacsim::serve::ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--help" || arg == "-h") {
+            return usage(0);
+        } else if (arg == "--port" && hasValue) {
+            std::uint64_t v = 0;
+            if (!parseU64(argv[++i], v) || v > 65535) {
+                std::fprintf(stderr, "tacsim-served: bad --port\n");
+                return 2;
+            }
+            cfg.port = static_cast<std::uint16_t>(v);
+        } else if (arg == "--host" && hasValue) {
+            cfg.host = argv[++i];
+        } else if (arg == "--cache-dir" && hasValue) {
+            cfg.cacheDir = argv[++i];
+        } else if (arg == "--max-cache-bytes" && hasValue) {
+            if (!parseU64(argv[++i], cfg.maxCacheBytes)) {
+                std::fprintf(stderr,
+                             "tacsim-served: bad --max-cache-bytes\n");
+                return 2;
+            }
+        } else if (arg == "--workers" && hasValue) {
+            std::uint64_t v = 0;
+            if (!parseU64(argv[++i], v) || v > 1024) {
+                std::fprintf(stderr, "tacsim-served: bad --workers\n");
+                return 2;
+            }
+            cfg.workers = static_cast<unsigned>(v);
+        } else {
+            std::fprintf(stderr, "tacsim-served: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(2);
+        }
+    }
+
+    try {
+        tacsim::serve::Server server(cfg);
+        server.start();
+        gServer = &server;
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onSignal);
+
+        std::printf("port %u\n", static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        std::fprintf(stderr,
+                     "tacsim-served: listening on %s:%u%s%s\n",
+                     cfg.host.c_str(),
+                     static_cast<unsigned>(server.port()),
+                     cfg.cacheDir.empty() ? "" : ", cache ",
+                     cfg.cacheDir.c_str());
+
+        server.wait();
+        gServer = nullptr;
+        std::fprintf(stderr, "tacsim-served: drained, exiting\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tacsim-served: %s\n", e.what());
+        return 1;
+    }
+}
